@@ -1,0 +1,281 @@
+//! The s-best assignments (ranked enumeration of assignment solutions).
+//!
+//! The RAGE paper requests the top-`s` "optimal permutations" by formulating the
+//! placement of sources into context positions as an assignment problem and citing the
+//! Chegireddy–Hamacher algorithm for the `k`-best perfect matchings, which yields an
+//! overall `O(s·k³)` bound. This module implements ranked enumeration with the classic
+//! solution-space partitioning scheme (Murty's algorithm): each emitted solution spawns
+//! at most `k` child subproblems obtained by forcing a prefix of its pairs and forbidding
+//! the next pair, every child is solved with the `O(k³)` Hungarian algorithm, and a
+//! priority queue yields solutions in non-decreasing cost order. The output (the `s`
+//! cheapest assignments) and the asymptotics match the paper's requirement.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::hungarian::{solve_assignment, Assignment, CostMatrix, FORBIDDEN};
+
+/// A subproblem in the partition tree: some pairs are forced, some cells are forbidden.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Pairs `(row, col)` that every solution of this node must contain.
+    forced: Vec<(usize, usize)>,
+    /// Cells `(row, col)` that no solution of this node may use.
+    forbidden: Vec<(usize, usize)>,
+    /// The optimal assignment within this node's constraints.
+    solution: Assignment,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.solution.total == other.solution.total
+    }
+}
+impl Eq for Node {}
+
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the cheapest node pops first.
+        other
+            .solution
+            .total
+            .partial_cmp(&self.solution.total)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Build the constrained cost matrix for a node and solve it.
+///
+/// Returns `None` when the constraints make a finite-cost perfect assignment impossible.
+fn solve_constrained(
+    base: &CostMatrix,
+    forced: &[(usize, usize)],
+    forbidden: &[(usize, usize)],
+) -> Option<Assignment> {
+    let n = base.n();
+    let mut costs = base.clone();
+    for &(r, c) in forbidden {
+        costs.set(r, c, FORBIDDEN);
+    }
+    for &(fr, fc) in forced {
+        for c in 0..n {
+            if c != fc {
+                costs.set(fr, c, FORBIDDEN);
+            }
+        }
+        for r in 0..n {
+            if r != fr {
+                costs.set(r, fc, FORBIDDEN);
+            }
+        }
+    }
+    let solution = solve_assignment(&costs);
+    if solution.uses_forbidden(&costs) {
+        return None;
+    }
+    // Recompute the total on the *base* matrix so forced-cell costs are exact.
+    let total = solution
+        .assignment
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| base.get(r, c))
+        .sum();
+    Some(Assignment {
+        assignment: solution.assignment,
+        total,
+    })
+}
+
+/// Return the `s` minimum-cost assignments of `costs` in non-decreasing cost order.
+///
+/// Fewer than `s` assignments are returned when the problem admits fewer distinct
+/// perfect assignments (e.g. `n! < s`). Total running time is `O(s · n³)` Hungarian
+/// solves plus heap overhead.
+pub fn k_best_assignments(costs: &CostMatrix, s: usize) -> Vec<Assignment> {
+    let n = costs.n();
+    if s == 0 || n == 0 {
+        return Vec::new();
+    }
+
+    let mut results: Vec<Assignment> = Vec::with_capacity(s);
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+
+    if let Some(best) = solve_constrained(costs, &[], &[]) {
+        heap.push(Node {
+            forced: Vec::new(),
+            forbidden: Vec::new(),
+            solution: best,
+        });
+    }
+
+    while results.len() < s {
+        let Some(node) = heap.pop() else { break };
+        let emitted = node.solution.clone();
+        results.push(emitted.clone());
+
+        // Partition the remaining solution space of `node` around `emitted`:
+        // child i forces emitted pairs 0..i and forbids pair i.
+        let forced_rows: Vec<usize> = node.forced.iter().map(|&(r, _)| r).collect();
+        let free_rows: Vec<usize> = (0..n).filter(|r| !forced_rows.contains(r)).collect();
+        let mut forced_prefix = node.forced.clone();
+        for &row in &free_rows {
+            let pair = (row, emitted.assignment[row]);
+            let mut forbidden = node.forbidden.clone();
+            forbidden.push(pair);
+            if let Some(solution) = solve_constrained(costs, &forced_prefix, &forbidden) {
+                heap.push(Node {
+                    forced: forced_prefix.clone(),
+                    forbidden,
+                    solution,
+                });
+            }
+            forced_prefix.push(pair);
+        }
+    }
+
+    results
+}
+
+/// Return the `s` maximum-profit assignments in non-increasing profit order.
+pub fn k_best_max_assignments(profits: &CostMatrix, s: usize) -> Vec<Assignment> {
+    let negated = profits.negated();
+    k_best_assignments(&negated, s)
+        .into_iter()
+        .map(|a| {
+            let total = a
+                .assignment
+                .iter()
+                .enumerate()
+                .map(|(r, &c)| profits.get(r, c))
+                .sum();
+            Assignment {
+                assignment: a.assignment,
+                total,
+            }
+        })
+        .collect()
+}
+
+/// Brute-force ranked enumeration (all `n!` permutations, sorted by cost).
+///
+/// The naive `O(k!)` baseline of experiment E6; also used to validate the ranked
+/// enumeration in tests.
+pub fn brute_force_k_best(costs: &CostMatrix, s: usize) -> Vec<Assignment> {
+    let n = costs.n();
+    let mut all: Vec<Assignment> = crate::permutations::PermutationIter::new(n)
+        .map(|perm| {
+            let total = perm.iter().enumerate().map(|(r, &c)| costs.get(r, c)).sum();
+            Assignment {
+                assignment: perm,
+                total,
+            }
+        })
+        .collect();
+    all.sort_by(|a, b| a.total.partial_cmp(&b.total).unwrap_or(Ordering::Equal));
+    all.truncate(s);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashSet;
+
+    #[test]
+    fn first_solution_is_the_optimum() {
+        let costs = CostMatrix::from_rows(3, &[4.0, 1.0, 3.0, 2.0, 0.0, 5.0, 3.0, 2.0, 2.0]);
+        let best = k_best_assignments(&costs, 1);
+        assert_eq!(best.len(), 1);
+        assert_eq!(best[0].total, 5.0);
+    }
+
+    #[test]
+    fn costs_are_non_decreasing() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let costs = CostMatrix::from_fn(5, |_, _| rng.gen_range(0.0..10.0));
+        let solutions = k_best_assignments(&costs, 20);
+        assert_eq!(solutions.len(), 20);
+        for pair in solutions.windows(2) {
+            assert!(pair[0].total <= pair[1].total + 1e-9);
+        }
+    }
+
+    #[test]
+    fn solutions_are_distinct_assignments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let costs = CostMatrix::from_fn(4, |_, _| rng.gen_range(0.0..10.0));
+        let solutions = k_best_assignments(&costs, 24);
+        let unique: HashSet<Vec<usize>> =
+            solutions.iter().map(|a| a.assignment.clone()).collect();
+        assert_eq!(unique.len(), solutions.len());
+        // 4! = 24 total assignments exist.
+        assert_eq!(solutions.len(), 24);
+    }
+
+    #[test]
+    fn requesting_more_than_n_factorial_returns_all() {
+        let costs = CostMatrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        let solutions = k_best_assignments(&costs, 10);
+        assert_eq!(solutions.len(), 2);
+    }
+
+    #[test]
+    fn matches_brute_force_enumeration() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in 2..=5usize {
+            let costs = CostMatrix::from_fn(n, |_, _| rng.gen_range(0.0..50.0));
+            let s = 8.min(crate::numeric::factorial(n) as usize);
+            let ranked = k_best_assignments(&costs, s);
+            let brute = brute_force_k_best(&costs, s);
+            assert_eq!(ranked.len(), brute.len());
+            for (a, b) in ranked.iter().zip(brute.iter()) {
+                assert!(
+                    (a.total - b.total).abs() < 1e-9,
+                    "n={n}: ranked {} vs brute {}",
+                    a.total,
+                    b.total
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_variant_is_non_increasing_and_matches_brute() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let profits = CostMatrix::from_fn(4, |_, _| rng.gen_range(0.0..10.0));
+        let ranked = k_best_max_assignments(&profits, 6);
+        for pair in ranked.windows(2) {
+            assert!(pair[0].total >= pair[1].total - 1e-9);
+        }
+        let brute = brute_force_k_best(&profits.negated(), 6);
+        for (a, b) in ranked.iter().zip(brute.iter()) {
+            assert!((a.total + b.total).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn s_zero_and_empty_matrix() {
+        let costs = CostMatrix::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        assert!(k_best_assignments(&costs, 0).is_empty());
+        assert!(k_best_assignments(&CostMatrix::filled(0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn ties_are_handled() {
+        // All costs equal: every assignment has the same total.
+        let costs = CostMatrix::filled(3, 1.0);
+        let solutions = k_best_assignments(&costs, 6);
+        assert_eq!(solutions.len(), 6);
+        assert!(solutions.iter().all(|a| (a.total - 3.0).abs() < 1e-12));
+        let unique: HashSet<Vec<usize>> =
+            solutions.iter().map(|a| a.assignment.clone()).collect();
+        assert_eq!(unique.len(), 6);
+    }
+}

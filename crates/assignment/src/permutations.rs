@@ -1,0 +1,360 @@
+//! Permutation enumeration, ranking and unbiased sampling.
+//!
+//! The RAGE paper contrasts a naive `O(k!)` permutation sampler (generate every
+//! permutation, then sample) with an `O(k·s)` sampler that invokes the Fisher–Yates
+//! shuffle `s` times. Both are implemented here, together with full enumeration
+//! (Heap's algorithm) and Lehmer-code ranking used by tests and benchmarks.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::numeric::factorial;
+
+/// Iterator over all permutations of `0..n` using Heap's algorithm.
+///
+/// The first yielded permutation is the identity; the full sequence contains `n!`
+/// distinct permutations.
+#[derive(Debug, Clone)]
+pub struct PermutationIter {
+    items: Vec<usize>,
+    stack: Vec<usize>,
+    i: usize,
+    first: bool,
+    done: bool,
+}
+
+impl PermutationIter {
+    /// Create an iterator over the permutations of `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            items: (0..n).collect(),
+            stack: vec![0; n],
+            i: 0,
+            first: true,
+            done: false,
+        }
+    }
+
+    /// Total number of permutations this iterator will yield.
+    pub fn total(&self) -> u128 {
+        factorial(self.items.len())
+    }
+}
+
+impl Iterator for PermutationIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if self.first {
+            self.first = false;
+            if self.items.is_empty() {
+                self.done = true;
+                return Some(Vec::new());
+            }
+            return Some(self.items.clone());
+        }
+        let n = self.items.len();
+        while self.i < n {
+            if self.stack[self.i] < self.i {
+                if self.i % 2 == 0 {
+                    self.items.swap(0, self.i);
+                } else {
+                    self.items.swap(self.stack[self.i], self.i);
+                }
+                self.stack[self.i] += 1;
+                self.i = 0;
+                return Some(self.items.clone());
+            } else {
+                self.stack[self.i] = 0;
+                self.i += 1;
+            }
+        }
+        self.done = true;
+        None
+    }
+}
+
+/// In-place unbiased Fisher–Yates shuffle of a slice, using the provided RNG.
+///
+/// Runs in `O(n)` time and produces every permutation with equal probability, which is
+/// the property the paper relies on for its `O(k·s)` permutation sampler.
+pub fn fisher_yates_shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
+    // `SliceRandom::shuffle` is the modern Fisher–Yates ("Durstenfeld") algorithm; we
+    // keep an explicit wrapper so the algorithmic provenance is visible at call sites.
+    items.shuffle(rng);
+}
+
+/// Draw `s` independent uniformly-random permutations of `0..k` in `O(k·s)` time.
+///
+/// This is the efficient sampler of §II-C; the naive alternative (enumerate all `k!`
+/// permutations, then subsample) is provided by [`naive_sample_permutations`] for the
+/// benchmark comparison.
+pub fn sample_permutations<R: Rng + ?Sized>(k: usize, s: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    (0..s)
+        .map(|_| {
+            let mut perm: Vec<usize> = (0..k).collect();
+            fisher_yates_shuffle(&mut perm, rng);
+            perm
+        })
+        .collect()
+}
+
+/// The naive `O(k!)` sampler: materialise every permutation, then draw `s` of them
+/// uniformly (with replacement, mirroring the independent draws of the efficient
+/// sampler).
+pub fn naive_sample_permutations<R: Rng + ?Sized>(
+    k: usize,
+    s: usize,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    let all: Vec<Vec<usize>> = PermutationIter::new(k).collect();
+    (0..s)
+        .map(|_| all[rng.gen_range(0..all.len())].clone())
+        .collect()
+}
+
+/// Enumerate permutations of `0..k` in order of decreasing similarity to the identity
+/// (i.e. increasing inversion count / decreasing Kendall's tau), up to `limit`
+/// permutations, starting with the identity itself.
+///
+/// This is the enumeration order of RAGE's permutation counterfactual search: the most
+/// similar reorderings are evaluated first. Within one inversion level (equal tau) the
+/// order is lexicographic, which keeps the search deterministic.
+///
+/// The enumeration is breadth-first over inversion levels: every permutation with `m+1`
+/// inversions is reachable from some permutation with `m` inversions by swapping one
+/// adjacent ascending pair, so level-by-level expansion with deduplication visits each
+/// permutation exactly once and never skips a level.
+pub fn permutations_by_similarity(k: usize, limit: usize) -> Vec<Vec<usize>> {
+    use std::collections::BTreeSet;
+
+    if limit == 0 {
+        return Vec::new();
+    }
+    let identity: Vec<usize> = (0..k).collect();
+    let mut result = vec![identity.clone()];
+    let mut current_level: BTreeSet<Vec<usize>> = BTreeSet::new();
+    current_level.insert(identity);
+
+    while result.len() < limit {
+        let mut next_level: BTreeSet<Vec<usize>> = BTreeSet::new();
+        for perm in &current_level {
+            for i in 0..k.saturating_sub(1) {
+                if perm[i] < perm[i + 1] {
+                    let mut swapped = perm.clone();
+                    swapped.swap(i, i + 1);
+                    next_level.insert(swapped);
+                }
+            }
+        }
+        if next_level.is_empty() {
+            break;
+        }
+        for perm in &next_level {
+            if result.len() >= limit {
+                break;
+            }
+            result.push(perm.clone());
+        }
+        current_level = next_level;
+    }
+    result
+}
+
+/// Lehmer-code rank of a permutation of `0..n` (0 = identity, `n!`−1 = reverse-sorted).
+pub fn lehmer_rank(perm: &[usize]) -> u128 {
+    let n = perm.len();
+    let mut rank: u128 = 0;
+    for i in 0..n {
+        let smaller_later = perm[i + 1..].iter().filter(|&&x| x < perm[i]).count() as u128;
+        rank = rank.saturating_add(smaller_later.saturating_mul(factorial(n - i - 1)));
+    }
+    rank
+}
+
+/// Inverse of [`lehmer_rank`]: the permutation of `0..n` with the given rank.
+pub fn lehmer_unrank(n: usize, mut rank: u128) -> Vec<usize> {
+    let mut available: Vec<usize> = (0..n).collect();
+    let mut perm = Vec::with_capacity(n);
+    for i in 0..n {
+        let f = factorial(n - i - 1);
+        let idx = (rank / f) as usize;
+        rank %= f;
+        perm.push(available.remove(idx.min(available.len().saturating_sub(1))));
+    }
+    perm
+}
+
+/// Apply a permutation to a slice: `result[i] = items[perm[i]]`.
+pub fn apply_permutation<T: Clone>(items: &[T], perm: &[usize]) -> Vec<T> {
+    perm.iter().map(|&i| items[i].clone()).collect()
+}
+
+/// Check that `perm` is a valid permutation of `0..n`.
+pub fn is_permutation(perm: &[usize], n: usize) -> bool {
+    if perm.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn enumerates_all_permutations() {
+        for n in 0..7usize {
+            let perms: Vec<_> = PermutationIter::new(n).collect();
+            assert_eq!(perms.len() as u128, factorial(n), "n={n}");
+            let unique: HashSet<_> = perms.iter().cloned().collect();
+            assert_eq!(unique.len(), perms.len(), "all permutations distinct");
+            assert!(perms.iter().all(|p| is_permutation(p, n)));
+        }
+    }
+
+    #[test]
+    fn first_permutation_is_identity() {
+        let mut it = PermutationIter::new(4);
+        assert_eq!(it.next().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(it.total(), 24);
+    }
+
+    #[test]
+    fn empty_permutation() {
+        let perms: Vec<_> = PermutationIter::new(0).collect();
+        assert_eq!(perms, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn fisher_yates_produces_valid_permutations() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let mut items: Vec<usize> = (0..10).collect();
+            fisher_yates_shuffle(&mut items, &mut rng);
+            assert!(is_permutation(&items, 10));
+        }
+    }
+
+    #[test]
+    fn fisher_yates_is_unbiased_enough() {
+        // Chi-square style sanity check: over many shuffles of 3 elements each of the
+        // 6 permutations should appear roughly 1/6 of the time.
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 6000;
+        let mut counts: std::collections::HashMap<Vec<usize>, usize> =
+            std::collections::HashMap::new();
+        for _ in 0..trials {
+            let mut items: Vec<usize> = vec![0, 1, 2];
+            fisher_yates_shuffle(&mut items, &mut rng);
+            *counts.entry(items).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 6);
+        for (&ref _perm, &count) in &counts {
+            let frequency = count as f64 / trials as f64;
+            assert!((frequency - 1.0 / 6.0).abs() < 0.03, "frequency {frequency}");
+        }
+    }
+
+    #[test]
+    fn sample_permutations_counts_and_validity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = sample_permutations(8, 25, &mut rng);
+        assert_eq!(sample.len(), 25);
+        assert!(sample.iter().all(|p| is_permutation(p, 8)));
+    }
+
+    #[test]
+    fn naive_sampler_matches_contract() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sample = naive_sample_permutations(5, 10, &mut rng);
+        assert_eq!(sample.len(), 10);
+        assert!(sample.iter().all(|p| is_permutation(p, 5)));
+    }
+
+    #[test]
+    fn sampling_zero_or_degenerate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_permutations(5, 0, &mut rng).is_empty());
+        let single = sample_permutations(1, 3, &mut rng);
+        assert_eq!(single, vec![vec![0], vec![0], vec![0]]);
+        let empty = sample_permutations(0, 2, &mut rng);
+        assert_eq!(empty, vec![Vec::<usize>::new(), Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn lehmer_rank_identity_and_reverse() {
+        assert_eq!(lehmer_rank(&[0, 1, 2, 3]), 0);
+        assert_eq!(lehmer_rank(&[3, 2, 1, 0]), factorial(4) - 1);
+    }
+
+    #[test]
+    fn lehmer_round_trip() {
+        let n = 6;
+        for rank in 0..factorial(n) {
+            let perm = lehmer_unrank(n, rank);
+            assert!(is_permutation(&perm, n));
+            assert_eq!(lehmer_rank(&perm), rank);
+        }
+    }
+
+    #[test]
+    fn apply_permutation_reorders() {
+        let items = vec!["a", "b", "c", "d"];
+        assert_eq!(
+            apply_permutation(&items, &[3, 1, 0, 2]),
+            vec!["d", "b", "a", "c"]
+        );
+    }
+
+    #[test]
+    fn similarity_enumeration_starts_with_identity_and_is_monotone() {
+        let perms = permutations_by_similarity(5, 40);
+        assert_eq!(perms[0], vec![0, 1, 2, 3, 4]);
+        assert_eq!(perms.len(), 40);
+        let inversion_counts: Vec<u64> =
+            perms.iter().map(|p| crate::kendall::kendall_tau_distance(p)).collect();
+        assert!(inversion_counts.windows(2).all(|w| w[0] <= w[1]));
+        // The first level after the identity contains exactly the k-1 adjacent swaps.
+        assert!(inversion_counts[1..5].iter().all(|&c| c == 1));
+        assert_eq!(inversion_counts[5], 2);
+    }
+
+    #[test]
+    fn similarity_enumeration_covers_everything_when_unbounded() {
+        for k in 0..6usize {
+            let perms = permutations_by_similarity(k, usize::MAX.min(1000));
+            assert_eq!(perms.len() as u128, factorial(k));
+            let unique: HashSet<_> = perms.iter().cloned().collect();
+            assert_eq!(unique.len(), perms.len());
+        }
+    }
+
+    #[test]
+    fn similarity_enumeration_respects_limit() {
+        assert_eq!(permutations_by_similarity(6, 10).len(), 10);
+        assert!(permutations_by_similarity(4, 0).is_empty());
+        assert_eq!(permutations_by_similarity(0, 5), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn is_permutation_rejects_invalid() {
+        assert!(is_permutation(&[0, 1, 2], 3));
+        assert!(!is_permutation(&[0, 1, 1], 3));
+        assert!(!is_permutation(&[0, 1, 3], 3));
+        assert!(!is_permutation(&[0, 1], 3));
+    }
+}

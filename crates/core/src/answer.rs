@@ -1,0 +1,80 @@
+//! Answer normalisation.
+//!
+//! "Before comparing against the original answer, we convert answers to lowercase,
+//! remove punctuation, and trim whitespace" (§II-C). Counterfactual detection and
+//! insight grouping both compare answers through [`normalize_answer`].
+
+/// Normalise an answer string: lowercase, strip punctuation, collapse whitespace.
+pub fn normalize_answer(answer: &str) -> String {
+    let lowered = answer.to_lowercase();
+    let mut out = String::with_capacity(lowered.len());
+    let mut last_was_space = true;
+    for ch in lowered.chars() {
+        if ch.is_alphanumeric() {
+            out.push(ch);
+            last_was_space = false;
+        } else if ch.is_whitespace() || ch.is_ascii_punctuation() {
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+        }
+        // Other characters (symbols, emoji) are dropped entirely.
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Whether two answers are equal after normalisation.
+pub fn answers_equal(a: &str, b: &str) -> bool {
+    normalize_answer(a) == normalize_answer(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_trims() {
+        assert_eq!(normalize_answer("  Roger Federer  "), "roger federer");
+    }
+
+    #[test]
+    fn removes_punctuation() {
+        assert_eq!(normalize_answer("Roger Federer."), "roger federer");
+        assert_eq!(normalize_answer("Djokovic!"), "djokovic");
+        assert_eq!(normalize_answer("\"Coco Gauff\""), "coco gauff");
+    }
+
+    #[test]
+    fn collapses_internal_whitespace() {
+        assert_eq!(normalize_answer("Novak   Djokovic"), "novak djokovic");
+        assert_eq!(normalize_answer("Novak\tDjokovic\n"), "novak djokovic");
+    }
+
+    #[test]
+    fn numbers_survive() {
+        assert_eq!(normalize_answer(" 5 "), "5");
+        assert_eq!(normalize_answer("5 times"), "5 times");
+    }
+
+    #[test]
+    fn punctuation_between_words_becomes_a_separator() {
+        assert_eq!(normalize_answer("Gauff,Coco"), "gauff coco");
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert_eq!(normalize_answer(""), "");
+        assert_eq!(normalize_answer("?!."), "");
+    }
+
+    #[test]
+    fn equality_is_normalised() {
+        assert!(answers_equal("Roger Federer", "roger federer!"));
+        assert!(answers_equal(" 5 ", "5"));
+        assert!(!answers_equal("Roger Federer", "Novak Djokovic"));
+    }
+}

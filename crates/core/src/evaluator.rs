@@ -1,0 +1,245 @@
+//! Cached, counted evaluation of perturbed contexts.
+//!
+//! Every perturbation the searches consider costs one LLM inference. [`Evaluator`]
+//! centralises those calls: it builds the prompt for a perturbed context, queries the
+//! model, caches answers keyed by the perturbation (identical perturbations are never
+//! re-evaluated) and counts the number of true LLM invocations — the cost metric used by
+//! the pruning experiments (E7).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rage_llm::{Generation, LanguageModel};
+
+use crate::context::Context;
+use crate::error::RageError;
+use crate::perturbation::Perturbation;
+use crate::prompt::PromptBuilder;
+
+/// Evaluates perturbations of one fixed (question, context) pair against an LLM.
+pub struct Evaluator {
+    llm: Arc<dyn LanguageModel>,
+    prompt_builder: PromptBuilder,
+    context: Context,
+    question: String,
+    cache: RefCell<HashMap<Perturbation, Generation>>,
+    llm_calls: Cell<usize>,
+}
+
+impl Evaluator {
+    /// Create an evaluator for a context; the question defaults to the context's query.
+    pub fn new(llm: Arc<dyn LanguageModel>, context: Context) -> Self {
+        let question = context.query.clone();
+        Self {
+            llm,
+            prompt_builder: PromptBuilder::default(),
+            context,
+            question,
+            cache: RefCell::new(HashMap::new()),
+            llm_calls: Cell::new(0),
+        }
+    }
+
+    /// Override the question (when it differs from the retrieval query).
+    pub fn with_question(mut self, question: impl Into<String>) -> Self {
+        self.question = question.into();
+        self
+    }
+
+    /// Override the prompt template.
+    pub fn with_prompt_builder(mut self, builder: PromptBuilder) -> Self {
+        self.prompt_builder = builder;
+        self
+    }
+
+    /// The context being explained.
+    pub fn context(&self) -> &Context {
+        &self.context
+    }
+
+    /// The question posed to the LLM.
+    pub fn question(&self) -> &str {
+        &self.question
+    }
+
+    /// Number of sources `k` in the context.
+    pub fn k(&self) -> usize {
+        self.context.len()
+    }
+
+    /// Number of *actual* LLM inferences performed so far (cache hits excluded).
+    pub fn llm_calls(&self) -> usize {
+        self.llm_calls.get()
+    }
+
+    /// Number of distinct perturbations evaluated so far.
+    pub fn evaluations(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// The full generation (answer + attention read-out) for a perturbation.
+    pub fn generation_for(&self, perturbation: &Perturbation) -> Result<Generation, RageError> {
+        if let Some(hit) = self.cache.borrow().get(perturbation) {
+            return Ok(hit.clone());
+        }
+        let sources = perturbation.apply(&self.context)?;
+        let input = self.prompt_builder.build_input(&self.question, &sources);
+        let generation = self.llm.generate(&input);
+        self.llm_calls.set(self.llm_calls.get() + 1);
+        self.cache
+            .borrow_mut()
+            .insert(perturbation.clone(), generation.clone());
+        Ok(generation)
+    }
+
+    /// The raw answer string for a perturbation.
+    pub fn answer_for(&self, perturbation: &Perturbation) -> Result<String, RageError> {
+        Ok(self.generation_for(perturbation)?.answer)
+    }
+
+    /// The answer over the full, unperturbed context (`a = L(q, Dq)`).
+    pub fn full_context_answer(&self) -> Result<String, RageError> {
+        self.answer_for(&Perturbation::identity_combination(self.k()))
+    }
+
+    /// The generation over the full, unperturbed context (used by attention scoring).
+    pub fn full_context_generation(&self) -> Result<Generation, RageError> {
+        self.generation_for(&Perturbation::identity_combination(self.k()))
+    }
+
+    /// The answer over the empty context (prior knowledge only).
+    pub fn empty_context_answer(&self) -> Result<String, RageError> {
+        self.answer_for(&Perturbation::Combination(Vec::new()))
+    }
+
+    /// The rendered prompt text for a perturbation (for provenance display).
+    pub fn prompt_text(&self, perturbation: &Perturbation) -> Result<String, RageError> {
+        let sources = perturbation.apply(&self.context)?;
+        Ok(self.prompt_builder.render(&self.question, &sources))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rage_llm::{LlmInput, SourceText};
+    use rage_retrieval::Document;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A trivial deterministic model: answers with the id of the first source, or
+    /// "nothing" for an empty context. Counts its invocations.
+    struct FirstSourceLlm {
+        calls: AtomicUsize,
+    }
+
+    impl FirstSourceLlm {
+        fn new() -> Self {
+            Self {
+                calls: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl LanguageModel for FirstSourceLlm {
+        fn generate(&self, input: &LlmInput) -> Generation {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            let answer = input
+                .sources
+                .first()
+                .map(|s: &SourceText| s.id.clone())
+                .unwrap_or_else(|| "nothing".to_string());
+            Generation {
+                answer: answer.clone(),
+                text: answer,
+                source_attention: vec![1.0 / input.sources.len().max(1) as f64; input.sources.len()],
+                prompt_tokens: 1,
+            }
+        }
+        fn name(&self) -> &str {
+            "first-source"
+        }
+    }
+
+    fn context() -> Context {
+        Context::from_documents(
+            "what is first?",
+            &[
+                Document::new("a", "", "alpha"),
+                Document::new("b", "", "beta"),
+                Document::new("c", "", "gamma"),
+            ],
+        )
+    }
+
+    #[test]
+    fn answers_follow_the_perturbed_context() {
+        let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::new()), context());
+        assert_eq!(evaluator.full_context_answer().unwrap(), "a");
+        assert_eq!(
+            evaluator
+                .answer_for(&Perturbation::Combination(vec![1, 2]))
+                .unwrap(),
+            "b"
+        );
+        assert_eq!(
+            evaluator
+                .answer_for(&Perturbation::Permutation(vec![2, 0, 1]))
+                .unwrap(),
+            "c"
+        );
+        assert_eq!(evaluator.empty_context_answer().unwrap(), "nothing");
+    }
+
+    #[test]
+    fn cache_prevents_repeated_llm_calls() {
+        let llm = Arc::new(FirstSourceLlm::new());
+        let evaluator = Evaluator::new(llm.clone(), context());
+        let p = Perturbation::Combination(vec![0, 2]);
+        for _ in 0..5 {
+            evaluator.answer_for(&p).unwrap();
+        }
+        assert_eq!(evaluator.llm_calls(), 1);
+        assert_eq!(llm.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(evaluator.evaluations(), 1);
+    }
+
+    #[test]
+    fn distinct_perturbations_are_distinct_calls() {
+        let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::new()), context());
+        evaluator.full_context_answer().unwrap();
+        evaluator.empty_context_answer().unwrap();
+        evaluator
+            .answer_for(&Perturbation::Permutation(vec![1, 0, 2]))
+            .unwrap();
+        assert_eq!(evaluator.llm_calls(), 3);
+    }
+
+    #[test]
+    fn invalid_perturbations_propagate_errors() {
+        let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::new()), context());
+        assert!(evaluator
+            .answer_for(&Perturbation::Combination(vec![5]))
+            .is_err());
+        assert_eq!(evaluator.llm_calls(), 0);
+    }
+
+    #[test]
+    fn question_override_is_used_in_prompts() {
+        let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::new()), context())
+            .with_question("custom question?");
+        assert_eq!(evaluator.question(), "custom question?");
+        let text = evaluator
+            .prompt_text(&Perturbation::identity_combination(3))
+            .unwrap();
+        assert!(text.contains("custom question?"));
+        assert!(text.contains("alpha"));
+    }
+
+    #[test]
+    fn full_generation_exposes_attention() {
+        let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::new()), context());
+        let generation = evaluator.full_context_generation().unwrap();
+        assert_eq!(generation.source_attention.len(), 3);
+    }
+}

@@ -1,0 +1,83 @@
+//! # rage-core
+//!
+//! The RAGE explanation engine: counterfactual explanations and perturbation insights
+//! for retrieval-augmented LLM question answering, reproducing *"RAGE Against the
+//! Machine: Retrieval-Augmented LLM Explanations"* (ICDE 2024).
+//!
+//! ## The problem
+//!
+//! In open-book QA with retrieval-augmented generation, a retrieval model `M` ranks the
+//! `k` most relevant sources `Dq` for a query `q`; the LLM `L` answers from the prompt
+//! assembled out of `q` and `Dq`: `a = L(q, Dq)`. RAGE explains *where that answer came
+//! from* by perturbing the context:
+//!
+//! * **Combinations** — which sources must be removed (top-down) or retained
+//!   (bottom-up) to change the answer; these counterfactuals act as citations.
+//! * **Permutations** — how stable the answer is under re-ordering of the sources,
+//!   exposing "lost in the middle" position bias.
+//!
+//! Because the candidate space is exponential (`2^k` subsets, `k!` orders), RAGE prunes
+//! it: combinations are evaluated in increasing size with ties broken by estimated
+//! relevance (attention-based or retrieval-score-based), permutations in decreasing
+//! Kendall-tau similarity, and "optimal permutations" are found by casting source-to-
+//! position placement as an assignment problem solved in `O(s·k³)`.
+//!
+//! ## Crate layout
+//!
+//! * [`context`] — the retrieved context `Dq` ([`Context`], [`ContextSource`]).
+//! * [`prompt`] — natural-language prompt assembly with delimited sources.
+//! * [`answer`] — answer normalisation (lowercase, strip punctuation, trim).
+//! * [`pipeline`] — [`RagPipeline`](pipeline::RagPipeline): retrieval + LLM end to end.
+//! * [`perturbation`] — combination/permutation perturbations and their application.
+//! * [`evaluator`] — cached, counted evaluation of perturbed contexts against the LLM.
+//! * [`scoring`] — the two source-relevance estimators `S(q, d, Dq)`.
+//! * [`counterfactual`] — top-down, bottom-up and permutation counterfactual search.
+//! * [`insights`] — answer distributions, rules and tables over perturbation samples.
+//! * [`optimal`] — optimal permutations via k-best assignment (and the naive baseline).
+//! * [`explanation`] — the assembled [`RageReport`](explanation::RageReport).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rage_core::pipeline::RagPipeline;
+//! use rage_core::counterfactual::{CounterfactualConfig, SearchDirection};
+//! use rage_core::scoring::ScoringMethod;
+//! use rage_llm::model::{SimLlm, SimLlmConfig};
+//! use rage_retrieval::{Corpus, Document, IndexBuilder, Searcher};
+//! use std::sync::Arc;
+//!
+//! let mut corpus = Corpus::new();
+//! corpus.push(Document::new("a", "Slams", "Novak Djokovic holds the most grand slam titles."));
+//! corpus.push(Document::new("b", "Wins", "Roger Federer leads total match wins."));
+//! let searcher = Searcher::new(IndexBuilder::default().build(&corpus));
+//! let llm = Arc::new(SimLlm::new(SimLlmConfig::default()));
+//!
+//! let pipeline = RagPipeline::new(searcher, llm);
+//! let response = pipeline.ask("Who holds the most grand slam titles?", 2).unwrap();
+//! assert_eq!(response.answer(), "Novak Djokovic");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod answer;
+pub mod context;
+pub mod counterfactual;
+pub mod error;
+pub mod evaluator;
+pub mod explanation;
+pub mod insights;
+pub mod optimal;
+pub mod perturbation;
+pub mod pipeline;
+pub mod prompt;
+pub mod scoring;
+
+pub use answer::{answers_equal, normalize_answer};
+pub use context::{Context, ContextSource};
+pub use error::RageError;
+pub use evaluator::Evaluator;
+pub use explanation::RageReport;
+pub use pipeline::{RagPipeline, RagResponse};
+pub use perturbation::Perturbation;
+pub use scoring::ScoringMethod;

@@ -1,0 +1,213 @@
+//! The retrieval-augmented generation pipeline.
+//!
+//! [`RagPipeline`] wires the three paper components together (Figure 1): the retrieval
+//! model `M` (BM25 over the local index), the prompt assembly, and the LLM `L`. Its
+//! [`ask`](RagPipeline::ask) method performs one full RAG round trip and returns the
+//! retrieved context alongside the model's answer, ready for explanation.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use rage_llm::{Generation, LanguageModel};
+use rage_retrieval::Searcher;
+
+use crate::context::Context;
+use crate::error::RageError;
+use crate::evaluator::Evaluator;
+use crate::prompt::PromptBuilder;
+
+/// The answer of one RAG round trip, with full provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RagResponse {
+    /// The retrieved context `Dq`.
+    pub context: Context,
+    /// The rendered prompt `p` that was (conceptually) sent to the LLM.
+    pub prompt_text: String,
+    /// The model's generation (answer, response text, attention read-out).
+    pub generation: Generation,
+}
+
+impl RagResponse {
+    /// The short answer string.
+    pub fn answer(&self) -> &str {
+        &self.generation.answer
+    }
+
+    /// Number of retrieved sources.
+    pub fn k(&self) -> usize {
+        self.context.len()
+    }
+}
+
+/// Retrieval + prompt assembly + LLM inference.
+pub struct RagPipeline {
+    searcher: Searcher,
+    llm: Arc<dyn LanguageModel>,
+    prompt_builder: PromptBuilder,
+}
+
+impl RagPipeline {
+    /// Build a pipeline from a searcher and a language model.
+    pub fn new(searcher: Searcher, llm: Arc<dyn LanguageModel>) -> Self {
+        Self {
+            searcher,
+            llm,
+            prompt_builder: PromptBuilder::default(),
+        }
+    }
+
+    /// Override the prompt template.
+    pub fn with_prompt_builder(mut self, builder: PromptBuilder) -> Self {
+        self.prompt_builder = builder;
+        self
+    }
+
+    /// The retrieval component.
+    pub fn searcher(&self) -> &Searcher {
+        &self.searcher
+    }
+
+    /// The language model (shared handle).
+    pub fn llm(&self) -> Arc<dyn LanguageModel> {
+        Arc::clone(&self.llm)
+    }
+
+    /// The prompt template in use.
+    pub fn prompt_builder(&self) -> &PromptBuilder {
+        &self.prompt_builder
+    }
+
+    /// Retrieve the top-`k` sources for `query` and answer from them.
+    ///
+    /// Fails with [`RageError::EmptyContext`] when nothing relevant is retrieved, since
+    /// there would be no context to explain.
+    pub fn ask(&self, query: &str, k: usize) -> Result<RagResponse, RageError> {
+        let hits = self.searcher.try_search(query, k)?;
+        if hits.is_empty() {
+            return Err(RageError::EmptyContext {
+                query: query.to_string(),
+            });
+        }
+        let context = Context::from_ranked(query, &hits);
+        self.answer_with_context(context)
+    }
+
+    /// Answer over a caller-supplied context (bypassing retrieval).
+    pub fn answer_with_context(&self, context: Context) -> Result<RagResponse, RageError> {
+        let sources = context.to_source_texts();
+        let question = context.query.clone();
+        let prompt_text = self.prompt_builder.render(&question, &sources);
+        let input = self.prompt_builder.build_input(&question, &sources);
+        let generation = self.llm.generate(&input);
+        Ok(RagResponse {
+            context,
+            prompt_text,
+            generation,
+        })
+    }
+
+    /// An [`Evaluator`] for the given context, sharing this pipeline's LLM and prompt
+    /// template — the entry point into the explanation searches.
+    pub fn evaluator(&self, context: Context) -> Evaluator {
+        Evaluator::new(Arc::clone(&self.llm), context)
+            .with_prompt_builder(self.prompt_builder.clone())
+    }
+
+    /// Convenience: retrieve, answer and build the evaluator in one step.
+    pub fn ask_and_explain(&self, query: &str, k: usize) -> Result<(RagResponse, Evaluator), RageError> {
+        let response = self.ask(query, k)?;
+        let evaluator = self.evaluator(response.context.clone());
+        Ok((response, evaluator))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rage_llm::model::{SimLlm, SimLlmConfig};
+    use rage_retrieval::{Corpus, Document, IndexBuilder};
+
+    fn pipeline() -> RagPipeline {
+        let mut corpus = Corpus::new();
+        corpus.push(Document::new(
+            "slams",
+            "Grand slams",
+            "Novak Djokovic holds the most grand slam titles with 24.",
+        ));
+        corpus.push(Document::new(
+            "wins",
+            "Match wins",
+            "Roger Federer leads total match wins with 369 victories.",
+        ));
+        corpus.push(Document::new(
+            "pasta",
+            "Cooking",
+            "Boil the pasta in salted water until al dente.",
+        ));
+        let searcher = Searcher::new(IndexBuilder::default().build(&corpus));
+        RagPipeline::new(searcher, Arc::new(SimLlm::new(SimLlmConfig::default())))
+    }
+
+    #[test]
+    fn ask_retrieves_and_answers() {
+        let p = pipeline();
+        let response = p.ask("Who holds the most grand slam titles?", 2).unwrap();
+        assert_eq!(response.answer(), "Novak Djokovic");
+        assert!(response.k() >= 1);
+        assert_eq!(response.context.sources[0].doc_id, "slams");
+        assert!(response.prompt_text.contains("[Source 1: slams]"));
+    }
+
+    #[test]
+    fn irrelevant_documents_are_not_retrieved() {
+        let p = pipeline();
+        let response = p.ask("Who holds the most grand slam titles?", 3).unwrap();
+        assert!(response
+            .context
+            .sources
+            .iter()
+            .all(|s| s.doc_id != "pasta"));
+    }
+
+    #[test]
+    fn unmatched_query_is_an_empty_context_error() {
+        let p = pipeline();
+        let err = p.ask("completely unrelated quantum chromodynamics", 3).unwrap_err();
+        assert!(matches!(err, RageError::EmptyContext { .. }));
+    }
+
+    #[test]
+    fn empty_query_propagates_retrieval_error() {
+        let p = pipeline();
+        assert!(matches!(p.ask("", 3), Err(RageError::Retrieval(_))));
+    }
+
+    #[test]
+    fn answer_with_supplied_context_bypasses_retrieval() {
+        let p = pipeline();
+        let context = Context::from_documents(
+            "Who leads total match wins?",
+            &[Document::new(
+                "only",
+                "Match wins",
+                "Roger Federer leads total match wins with 369 victories.",
+            )],
+        );
+        let response = p.answer_with_context(context).unwrap();
+        assert_eq!(response.answer(), "Roger Federer");
+    }
+
+    #[test]
+    fn evaluator_shares_llm_and_prompt() {
+        let p = pipeline();
+        let (response, evaluator) = p
+            .ask_and_explain("Who holds the most grand slam titles?", 2)
+            .unwrap();
+        assert_eq!(
+            evaluator.full_context_answer().unwrap(),
+            response.answer()
+        );
+        assert_eq!(evaluator.k(), response.k());
+    }
+}

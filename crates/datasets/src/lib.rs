@@ -1,0 +1,30 @@
+//! # rage-datasets
+//!
+//! Corpora and questions for the RAGE reproduction.
+//!
+//! The RAGE demonstration retrieves knowledge sources from locally-indexed collections
+//! about professional tennis. The salient *content* of those sources is fully specified
+//! by the paper's three use cases (§III), which is what the generators in this crate
+//! encode:
+//!
+//! * [`big_three`] — Use case #1: rankings of Djokovic, Federer and Nadal under
+//!   different metrics, leading to an ambiguous "who is the best" answer.
+//! * [`us_open`] — Use case #2: US Open women's champions of different years, where an
+//!   out-of-date source can mislead the model.
+//! * [`timeline`] — Use case #3: one Player-of-the-Year document per season 2010–2019,
+//!   forming a timeline to count over.
+//! * [`synthetic`] — parameterised corpus generators used by the scaling benchmarks
+//!   (E5–E10) and property tests.
+//! * [`scenario`] — the [`Scenario`](scenario::Scenario) bundle tying a corpus to its
+//!   question, retrieval depth, prior knowledge and expected behaviour.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod big_three;
+pub mod scenario;
+pub mod synthetic;
+pub mod timeline;
+pub mod us_open;
+
+pub use scenario::Scenario;

@@ -1,0 +1,197 @@
+//! # rage-llm
+//!
+//! A deterministic, CPU-only *simulated* large language model substrate for the RAGE
+//! explanation engine.
+//!
+//! ## Why a simulator
+//!
+//! The RAGE prototype runs `meta-llama/Llama-2-7b-chat-hf` on an RTX 4090 through the
+//! HuggingFace Transformers stack. Neither the model weights nor the GPU are available
+//! in this reproduction environment, so this crate substitutes the closest synthetic
+//! equivalent that exercises the same code paths RAGE depends on (the substitution is
+//! documented in `DESIGN.md`). RAGE treats the LLM as:
+//!
+//! 1. a black-box answer function `a = L(q, Dq)` over a question and an *ordered*
+//!    sequence of context sources, and
+//! 2. an attention read-out, summed over layers, heads and tokens, used as one of the
+//!    two source-relevance scoring methods.
+//!
+//! [`SimLlm`](model::SimLlm) provides exactly that interface with behaviours calibrated
+//! to the phenomena the paper studies:
+//!
+//! * answers are grounded in the context sources through candidate-answer extraction and
+//!   evidence aggregation, so removing a supporting source can flip the answer
+//!   (combination counterfactuals);
+//! * a configurable positional prior reproduces the "lost in the middle" bias of ref.
+//!   [2] of the paper, so re-ordering sources can flip the answer (permutation
+//!   counterfactuals and optimal permutations);
+//! * a prior-knowledge store answers the empty-context case (bottom-up counterfactuals)
+//!   and competes with weak context evidence (hallucination-style behaviour);
+//! * attention is computed by a real multi-layer, multi-head scaled-dot-product
+//!   attention forward pass over shared token embeddings ([`transformer`]), so the
+//!   attention-aggregation scoring path ([`attention`]) is exercised honestly rather
+//!   than faked.
+//!
+//! Everything is deterministic given the model seed, which keeps explanations and tests
+//! reproducible.
+//!
+//! ## Crate layout
+//!
+//! * [`tokenizer`] — word-level tokenizer with a hashing vocabulary.
+//! * [`embedding`] — deterministic token and positional embeddings.
+//! * [`transformer`] — the attention stack and its recorded attention tensors.
+//! * [`attention`] — per-source attention aggregation (sum over layers/heads/tokens).
+//! * [`position_bias`] — parametric context-position priors ("lost in the middle" et al.).
+//! * [`knowledge`] — prior (pre-trained) knowledge facts.
+//! * [`extraction`] — question typing and candidate-answer extraction from sources.
+//! * [`model`] — [`SimLlm`](model::SimLlm), the [`LanguageModel`] implementation.
+//!
+//! ## Example
+//!
+//! ```
+//! use rage_llm::model::{SimLlm, SimLlmConfig};
+//! use rage_llm::{LanguageModel, LlmInput, SourceText};
+//!
+//! let llm = SimLlm::new(SimLlmConfig::default());
+//! let input = LlmInput::new(
+//!     "Who won the most grand slam titles?",
+//!     vec![
+//!         SourceText::new("d1", "Novak Djokovic won 24 grand slam titles, the most in history."),
+//!         SourceText::new("d2", "Roger Federer won 20 grand slam titles."),
+//!     ],
+//! );
+//! let generation = llm.generate(&input);
+//! assert_eq!(generation.answer.to_lowercase(), "novak djokovic");
+//! assert_eq!(generation.source_attention.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attention;
+pub mod embedding;
+pub mod extraction;
+pub mod knowledge;
+pub mod model;
+pub mod position_bias;
+pub mod tokenizer;
+pub mod transformer;
+
+use serde::{Deserialize, Serialize};
+
+/// One context source as seen by the LLM: an identifier and its text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceText {
+    /// Stable identifier of the source (document id).
+    pub id: String,
+    /// The source text placed into the prompt.
+    pub text: String,
+}
+
+impl SourceText {
+    /// Create a source from an id and its text.
+    pub fn new(id: impl Into<String>, text: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            text: text.into(),
+        }
+    }
+}
+
+/// Structured input to the language model: the question plus the ordered context `Dq`.
+///
+/// The paper assembles a single natural-language prompt `p` from these parts; the
+/// rendering of `p` (delimiters, instructions) lives in `rage-core::prompt`, while the
+/// model consumes the structured form so that source token spans are known exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LlmInput {
+    /// The user's question `q`.
+    pub question: String,
+    /// The ordered context sources `Dq` (possibly empty).
+    pub sources: Vec<SourceText>,
+}
+
+impl LlmInput {
+    /// Create an input from a question and ordered sources.
+    pub fn new(question: impl Into<String>, sources: Vec<SourceText>) -> Self {
+        Self {
+            question: question.into(),
+            sources,
+        }
+    }
+
+    /// An input with no context sources (the "empty context" case of bottom-up search).
+    pub fn without_context(question: impl Into<String>) -> Self {
+        Self::new(question, Vec::new())
+    }
+
+    /// Number of context sources.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+/// The model's output for one prompt.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Generation {
+    /// The short answer extracted from the model's response (already trimmed).
+    pub answer: String,
+    /// A chat-style full response text.
+    pub text: String,
+    /// Aggregate attention mass attributed to each context source, in prompt order.
+    ///
+    /// This is the quantity RAGE's attention-based relevance scoring sums: attention
+    /// summed over all layers, heads and tokens belonging to each source, then scaled by
+    /// the model's positional prior.
+    pub source_attention: Vec<f64>,
+    /// Number of tokens in the assembled prompt (question + delimiters + sources).
+    pub prompt_tokens: usize,
+}
+
+impl Generation {
+    /// Attention mass of the source at `index`, or `0.0` if out of range.
+    pub fn attention_for(&self, index: usize) -> f64 {
+        self.source_attention.get(index).copied().unwrap_or(0.0)
+    }
+}
+
+/// The behavioural interface RAGE needs from any language model.
+///
+/// The simulated model implements it; an adapter around a real transformer checkpoint
+/// could implement it equally well, which is what keeps `rage-core` model-agnostic (the
+/// paper notes its tool is "fully compatible with any similar transformer-based LLM").
+pub trait LanguageModel: Send + Sync {
+    /// Produce an answer (and attention read-out) for the given question and context.
+    fn generate(&self, input: &LlmInput) -> Generation;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str {
+        "unnamed-llm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llm_input_constructors() {
+        let input = LlmInput::new("q", vec![SourceText::new("a", "text")]);
+        assert_eq!(input.num_sources(), 1);
+        let empty = LlmInput::without_context("q");
+        assert_eq!(empty.num_sources(), 0);
+        assert_eq!(empty.question, "q");
+    }
+
+    #[test]
+    fn generation_attention_accessor() {
+        let generation = Generation {
+            answer: "x".into(),
+            text: "x".into(),
+            source_attention: vec![0.5, 0.25],
+            prompt_tokens: 10,
+        };
+        assert_eq!(generation.attention_for(1), 0.25);
+        assert_eq!(generation.attention_for(9), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Okapi BM25 scoring.
+//!
+//! The scoring function matches Lucene's `BM25Similarity` (and therefore Pyserini's
+//! default ranker): for a query `q` with terms `t` and a document `d`,
+//!
+//! ```text
+//! score(q, d) = Σ_t idf(t) · tf(t, d) · (k1 + 1) / (tf(t, d) + k1 · (1 − b + b · |d| / avgdl))
+//! idf(t)      = ln(1 + (N − df(t) + 0.5) / (df(t) + 0.5))
+//! ```
+//!
+//! with the Lucene/Pyserini defaults `k1 = 0.9`, `b = 0.4`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::index::InvertedIndex;
+
+/// BM25 free parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bm25Params {
+    /// Term-frequency saturation parameter.
+    pub k1: f64,
+    /// Length-normalisation parameter.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        // Pyserini's default BM25 configuration.
+        Self { k1: 0.9, b: 0.4 }
+    }
+}
+
+impl Bm25Params {
+    /// The classic Robertson parameters (`k1 = 1.2`, `b = 0.75`).
+    pub fn robertson() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Inverse document frequency with the Lucene +1 smoothing (always non-negative).
+pub fn idf(num_docs: usize, doc_freq: usize) -> f64 {
+    let n = num_docs as f64;
+    let df = doc_freq as f64;
+    (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+}
+
+/// Per-term BM25 contribution for a document.
+pub fn term_score(params: Bm25Params, idf: f64, tf: u32, doc_len: u32, avg_doc_len: f64) -> f64 {
+    let tf = f64::from(tf);
+    let dl = f64::from(doc_len);
+    let avgdl = if avg_doc_len > 0.0 { avg_doc_len } else { 1.0 };
+    let denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avgdl);
+    if denom == 0.0 {
+        0.0
+    } else {
+        idf * tf * (params.k1 + 1.0) / denom
+    }
+}
+
+/// Scores every document of the index against analysed query terms.
+///
+/// Returns a dense vector of scores indexed by document ordinal; documents matching no
+/// query term score exactly `0.0`.
+pub fn score_all(index: &InvertedIndex, query_terms: &[String], params: Bm25Params) -> Vec<f64> {
+    let mut scores = vec![0.0; index.num_docs()];
+    for term in query_terms {
+        let df = index.doc_freq(term);
+        if df == 0 {
+            continue;
+        }
+        let idf = idf(index.num_docs(), df);
+        if let Some(postings) = index.postings(term) {
+            for posting in postings {
+                let doc_len = index.doc_len(posting.doc);
+                scores[posting.doc as usize] +=
+                    term_score(params, idf, posting.tf, doc_len, index.avg_doc_len());
+            }
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{Corpus, Document};
+    use crate::index::IndexBuilder;
+
+    fn index() -> InvertedIndex {
+        let mut corpus = Corpus::new();
+        corpus.push(Document::new("a", "", "federer grand slam wins"));
+        corpus.push(Document::new("b", "", "djokovic grand slam grand slam titles"));
+        corpus.push(Document::new("c", "", "completely unrelated text about cooking"));
+        IndexBuilder::default().build(&corpus)
+    }
+
+    #[test]
+    fn idf_is_decreasing_in_document_frequency() {
+        let n = 1000;
+        assert!(idf(n, 1) > idf(n, 10));
+        assert!(idf(n, 10) > idf(n, 100));
+        assert!(idf(n, 100) > idf(n, 999));
+    }
+
+    #[test]
+    fn idf_never_negative() {
+        // Even when the term appears in every document (Lucene +1 smoothing).
+        assert!(idf(10, 10) >= 0.0);
+        assert!(idf(1, 1) >= 0.0);
+    }
+
+    #[test]
+    fn term_score_increases_with_tf_but_saturates() {
+        let p = Bm25Params::default();
+        let s1 = term_score(p, 1.0, 1, 10, 10.0);
+        let s2 = term_score(p, 1.0, 2, 10, 10.0);
+        let s10 = term_score(p, 1.0, 10, 10, 10.0);
+        let s11 = term_score(p, 1.0, 11, 10, 10.0);
+        assert!(s2 > s1);
+        assert!(s10 > s2);
+        // Saturation: marginal gain shrinks.
+        assert!(s11 - s10 < s2 - s1);
+    }
+
+    #[test]
+    fn longer_documents_are_penalised() {
+        let p = Bm25Params::default();
+        let short = term_score(p, 1.0, 2, 5, 10.0);
+        let long = term_score(p, 1.0, 2, 50, 10.0);
+        assert!(short > long);
+    }
+
+    #[test]
+    fn b_zero_disables_length_normalisation() {
+        let p = Bm25Params { k1: 0.9, b: 0.0 };
+        let short = term_score(p, 1.0, 2, 5, 10.0);
+        let long = term_score(p, 1.0, 2, 500, 10.0);
+        assert!((short - long).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_tf_scores_zero() {
+        let p = Bm25Params::default();
+        assert_eq!(term_score(p, 2.0, 0, 10, 10.0), 0.0);
+    }
+
+    #[test]
+    fn score_all_ranks_matching_documents() {
+        let idx = index();
+        let tokenizer = idx.tokenizer().clone();
+        let terms = tokenizer.tokenize("grand slam");
+        let scores = score_all(&idx, &terms, Bm25Params::default());
+        assert_eq!(scores.len(), 3);
+        // Document b repeats "grand slam" and should outrank a; c matches nothing.
+        assert!(scores[1] > scores[0]);
+        assert!(scores[0] > 0.0);
+        assert_eq!(scores[2], 0.0);
+    }
+
+    #[test]
+    fn score_all_ignores_unknown_terms() {
+        let idx = index();
+        let scores = score_all(&idx, &["nonexistentterm".to_string()], Bm25Params::default());
+        assert!(scores.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn robertson_params_differ_from_default() {
+        let d = Bm25Params::default();
+        let r = Bm25Params::robertson();
+        assert_ne!(d, r);
+        assert_eq!(r.k1, 1.2);
+        assert_eq!(r.b, 0.75);
+    }
+
+    #[test]
+    fn empty_index_scores_nothing() {
+        let idx = IndexBuilder::default().build(&Corpus::new());
+        let scores = score_all(&idx, &["anything".into()], Bm25Params::default());
+        assert!(scores.is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Documents, corpora and JSONL persistence.
+//!
+//! RAGE's knowledge sources are plain documents with an identifier, a title and a body.
+//! A [`Corpus`] is an ordered collection of documents with unique identifiers; it is the
+//! unit that gets indexed. Corpora can be round-tripped through the JSONL interchange
+//! format Pyserini uses (`{"id": ..., "contents": ...}` one object per line).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::RetrievalError;
+
+/// A single knowledge source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    /// Stable identifier, unique within a corpus.
+    pub id: String,
+    /// Short human-readable title.
+    pub title: String,
+    /// Main body text used for indexing and prompting.
+    pub text: String,
+    /// Optional key/value metadata (e.g. `year`, `metric`, `recency`).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub fields: BTreeMap<String, String>,
+}
+
+impl Document {
+    /// Create a document with empty metadata.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, text: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            text: text.into(),
+            fields: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a metadata field (builder style).
+    pub fn with_field(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.fields.insert(key.into(), value.into());
+        self
+    }
+
+    /// Title and body concatenated — the text that gets indexed and shown to the LLM.
+    pub fn full_text(&self) -> String {
+        if self.title.is_empty() {
+            self.text.clone()
+        } else {
+            format!("{}. {}", self.title, self.text)
+        }
+    }
+
+    /// Number of Unicode scalar values in the body.
+    pub fn len_chars(&self) -> usize {
+        self.text.chars().count()
+    }
+}
+
+/// An ordered collection of documents with unique ids.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    documents: Vec<Document>,
+}
+
+impl Corpus {
+    /// Create an empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a corpus from documents, failing on duplicate ids.
+    pub fn from_documents(documents: Vec<Document>) -> Result<Self, RetrievalError> {
+        let mut corpus = Corpus::new();
+        for doc in documents {
+            corpus.try_push(doc)?;
+        }
+        Ok(corpus)
+    }
+
+    /// Append a document, panicking on a duplicate id.
+    ///
+    /// Use [`Corpus::try_push`] when the id provenance is untrusted.
+    pub fn push(&mut self, doc: Document) {
+        self.try_push(doc).expect("duplicate document id");
+    }
+
+    /// Append a document, failing on a duplicate id.
+    pub fn try_push(&mut self, doc: Document) -> Result<(), RetrievalError> {
+        if self.documents.iter().any(|d| d.id == doc.id) {
+            return Err(RetrievalError::DuplicateDocumentId(doc.id));
+        }
+        self.documents.push(doc);
+        Ok(())
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Whether the corpus holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// Iterate over documents in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Document> {
+        self.documents.iter()
+    }
+
+    /// All documents as a slice, in insertion order.
+    pub fn documents(&self) -> &[Document] {
+        &self.documents
+    }
+
+    /// Find a document by id.
+    pub fn get(&self, id: &str) -> Option<&Document> {
+        self.documents.iter().find(|d| d.id == id)
+    }
+
+    /// Read a corpus from a JSONL reader: one JSON document object per line.
+    ///
+    /// Each line must carry at least an `id`; the body may be under `text` or (as in
+    /// Pyserini collections) `contents`.
+    pub fn read_jsonl<R: Read>(reader: R) -> Result<Self, RetrievalError> {
+        #[derive(Deserialize)]
+        struct Record {
+            id: String,
+            #[serde(default)]
+            title: String,
+            #[serde(default)]
+            text: Option<String>,
+            #[serde(default)]
+            contents: Option<String>,
+            #[serde(default)]
+            fields: BTreeMap<String, String>,
+        }
+
+        let buf = BufReader::new(reader);
+        let mut corpus = Corpus::new();
+        for (lineno, line) in buf.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: Record =
+                serde_json::from_str(&line).map_err(|e| RetrievalError::CorpusParse {
+                    line: lineno + 1,
+                    message: e.to_string(),
+                })?;
+            let text = record.text.or(record.contents).unwrap_or_default();
+            corpus.try_push(Document {
+                id: record.id,
+                title: record.title,
+                text,
+                fields: record.fields,
+            })?;
+        }
+        Ok(corpus)
+    }
+
+    /// Write the corpus as JSONL.
+    pub fn write_jsonl<W: Write>(&self, mut writer: W) -> Result<(), RetrievalError> {
+        for doc in &self.documents {
+            let line = serde_json::to_string(doc).map_err(|e| RetrievalError::CorpusParse {
+                line: 0,
+                message: e.to_string(),
+            })?;
+            writeln!(writer, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Load a corpus from a JSONL file on disk.
+    pub fn load_jsonl(path: impl AsRef<Path>) -> Result<Self, RetrievalError> {
+        let file = std::fs::File::open(path)?;
+        Self::read_jsonl(file)
+    }
+
+    /// Save the corpus to a JSONL file on disk.
+    pub fn save_jsonl(&self, path: impl AsRef<Path>) -> Result<(), RetrievalError> {
+        let file = std::fs::File::create(path)?;
+        self.write_jsonl(file)
+    }
+}
+
+impl FromIterator<Document> for Corpus {
+    fn from_iter<T: IntoIterator<Item = Document>>(iter: T) -> Self {
+        let mut corpus = Corpus::new();
+        for doc in iter {
+            corpus.push(doc);
+        }
+        corpus
+    }
+}
+
+impl IntoIterator for Corpus {
+    type Item = Document;
+    type IntoIter = std::vec::IntoIter<Document>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.documents.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Corpus {
+        let mut c = Corpus::new();
+        c.push(
+            Document::new("d1", "Match wins", "Federer has 369 match wins")
+                .with_field("metric", "match_wins"),
+        );
+        c.push(Document::new("d2", "Grand slams", "Djokovic has 24 grand slams"));
+        c
+    }
+
+    #[test]
+    fn push_and_get() {
+        let c = sample();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("d1").unwrap().title, "Match wins");
+        assert!(c.get("missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut c = sample();
+        let err = c.try_push(Document::new("d1", "dup", "dup")).unwrap_err();
+        assert!(matches!(err, RetrievalError::DuplicateDocumentId(_)));
+    }
+
+    #[test]
+    fn from_documents_checks_duplicates() {
+        let docs = vec![
+            Document::new("a", "", "x"),
+            Document::new("a", "", "y"),
+        ];
+        assert!(Corpus::from_documents(docs).is_err());
+    }
+
+    #[test]
+    fn full_text_includes_title() {
+        let d = Document::new("d", "Title", "Body");
+        assert_eq!(d.full_text(), "Title. Body");
+        let d = Document::new("d", "", "Body only");
+        assert_eq!(d.full_text(), "Body only");
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_jsonl(&mut buf).unwrap();
+        let restored = Corpus::read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(c, restored);
+    }
+
+    #[test]
+    fn jsonl_accepts_pyserini_contents_field() {
+        let jsonl = r#"{"id": "p1", "contents": "US Open 2023 champion Coco Gauff"}"#;
+        let c = Corpus::read_jsonl(jsonl.as_bytes()).unwrap();
+        assert_eq!(c.get("p1").unwrap().text, "US Open 2023 champion Coco Gauff");
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let jsonl = "\n{\"id\": \"a\", \"text\": \"x\"}\n\n{\"id\": \"b\", \"text\": \"y\"}\n";
+        let c = Corpus::read_jsonl(jsonl.as_bytes()).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn jsonl_reports_line_numbers_on_error() {
+        let jsonl = "{\"id\": \"a\", \"text\": \"x\"}\nnot json\n";
+        let err = Corpus::read_jsonl(jsonl.as_bytes()).unwrap_err();
+        match err {
+            RetrievalError::CorpusParse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("rage_retrieval_doc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.jsonl");
+        let c = sample();
+        c.save_jsonl(&path).unwrap();
+        let restored = Corpus::load_jsonl(&path).unwrap();
+        assert_eq!(c, restored);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let c: Corpus = (0..5)
+            .map(|i| Document::new(format!("d{i}"), "", format!("text {i}")))
+            .collect();
+        assert_eq!(c.len(), 5);
+        let ids: Vec<_> = c.into_iter().map(|d| d.id).collect();
+        assert_eq!(ids, vec!["d0", "d1", "d2", "d3", "d4"]);
+    }
+}

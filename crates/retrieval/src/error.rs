@@ -1,0 +1,95 @@
+//! Error taxonomy for the retrieval substrate.
+
+use std::fmt;
+
+/// Errors produced while loading corpora or querying the index.
+#[derive(Debug)]
+pub enum RetrievalError {
+    /// The corpus contained two documents with the same identifier.
+    DuplicateDocumentId(String),
+    /// A JSONL corpus line could not be parsed.
+    CorpusParse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// An I/O failure while reading or writing a corpus file.
+    Io(std::io::Error),
+    /// The query produced no indexable terms (e.g. only stopwords or punctuation).
+    EmptyQuery,
+    /// A document id was requested that is not part of the index.
+    UnknownDocument(String),
+}
+
+impl fmt::Display for RetrievalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetrievalError::DuplicateDocumentId(id) => {
+                write!(f, "duplicate document id in corpus: {id}")
+            }
+            RetrievalError::CorpusParse { line, message } => {
+                write!(f, "failed to parse corpus line {line}: {message}")
+            }
+            RetrievalError::Io(err) => write!(f, "corpus I/O error: {err}"),
+            RetrievalError::EmptyQuery => {
+                write!(f, "query contains no indexable terms after analysis")
+            }
+            RetrievalError::UnknownDocument(id) => write!(f, "unknown document id: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for RetrievalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RetrievalError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RetrievalError {
+    fn from(err: std::io::Error) -> Self {
+        RetrievalError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_duplicate_id() {
+        let err = RetrievalError::DuplicateDocumentId("d7".into());
+        assert!(err.to_string().contains("d7"));
+    }
+
+    #[test]
+    fn display_corpus_parse() {
+        let err = RetrievalError::CorpusParse {
+            line: 3,
+            message: "bad json".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("line 3"));
+        assert!(text.contains("bad json"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let err: RetrievalError =
+            std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn empty_query_and_unknown_document_display() {
+        assert!(RetrievalError::EmptyQuery.to_string().contains("no indexable"));
+        assert!(RetrievalError::UnknownDocument("x".into())
+            .to_string()
+            .contains("unknown document"));
+    }
+}

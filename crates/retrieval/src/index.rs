@@ -1,0 +1,254 @@
+//! The inverted index.
+//!
+//! [`InvertedIndex`] stores, for every analysed term, a postings list of
+//! `(document ordinal, term frequency)` pairs, plus per-document lengths and the corpus
+//! itself. It is the in-memory stand-in for the Lucene index RAGE's prototype queried
+//! through Pyserini.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::document::{Corpus, Document};
+use crate::tokenize::Tokenizer;
+
+/// One posting: a document ordinal and the term's frequency inside that document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Posting {
+    /// Ordinal of the document inside the indexed corpus (0-based, insertion order).
+    pub doc: u32,
+    /// Number of occurrences of the term in the document.
+    pub tf: u32,
+}
+
+/// Per-document statistics kept by the index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DocStats {
+    /// Document id.
+    pub id: String,
+    /// Number of analysed tokens in the document (its "length" for BM25 normalisation).
+    pub len: u32,
+}
+
+/// Builder for [`InvertedIndex`].
+#[derive(Debug, Clone, Default)]
+pub struct IndexBuilder {
+    tokenizer: Tokenizer,
+}
+
+impl IndexBuilder {
+    /// Use a custom tokenizer for analysis.
+    pub fn with_tokenizer(mut self, tokenizer: Tokenizer) -> Self {
+        self.tokenizer = tokenizer;
+        self
+    }
+
+    /// Analyse and index every document of the corpus.
+    pub fn build(&self, corpus: &Corpus) -> InvertedIndex {
+        let mut postings: BTreeMap<String, Vec<Posting>> = BTreeMap::new();
+        let mut doc_stats = Vec::with_capacity(corpus.len());
+        let mut total_len: u64 = 0;
+
+        for (ordinal, doc) in corpus.iter().enumerate() {
+            let terms = self.tokenizer.tokenize(&doc.full_text());
+            let mut freqs: HashMap<&str, u32> = HashMap::new();
+            for term in &terms {
+                *freqs.entry(term.as_str()).or_insert(0) += 1;
+            }
+            for (term, tf) in freqs {
+                postings.entry(term.to_string()).or_default().push(Posting {
+                    doc: ordinal as u32,
+                    tf,
+                });
+            }
+            let len = terms.len() as u32;
+            total_len += u64::from(len);
+            doc_stats.push(DocStats {
+                id: doc.id.clone(),
+                len,
+            });
+        }
+
+        // Postings are accumulated per document in corpus order except that HashMap
+        // iteration above interleaves terms; sort each list so scans are ordinal-ordered.
+        for list in postings.values_mut() {
+            list.sort_by_key(|p| p.doc);
+        }
+
+        let avg_len = if doc_stats.is_empty() {
+            0.0
+        } else {
+            total_len as f64 / doc_stats.len() as f64
+        };
+
+        InvertedIndex {
+            postings,
+            doc_stats,
+            avg_doc_len: avg_len,
+            tokenizer: self.tokenizer.clone(),
+            corpus: corpus.clone(),
+        }
+    }
+}
+
+/// An immutable in-memory inverted index over a [`Corpus`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InvertedIndex {
+    postings: BTreeMap<String, Vec<Posting>>,
+    doc_stats: Vec<DocStats>,
+    avg_doc_len: f64,
+    tokenizer: Tokenizer,
+    corpus: Corpus,
+}
+
+impl InvertedIndex {
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_stats.len()
+    }
+
+    /// Number of distinct terms in the dictionary.
+    pub fn num_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Average analysed document length (in tokens).
+    pub fn avg_doc_len(&self) -> f64 {
+        self.avg_doc_len
+    }
+
+    /// The tokenizer that analysed this index (queries must use the same one).
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// The corpus backing the index.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Postings list for a term, if the term occurs in the corpus.
+    pub fn postings(&self, term: &str) -> Option<&[Posting]> {
+        self.postings.get(term).map(|v| v.as_slice())
+    }
+
+    /// Document frequency: the number of documents containing the term.
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.postings.get(term).map_or(0, |p| p.len())
+    }
+
+    /// Length (analysed token count) of the document with the given ordinal.
+    pub fn doc_len(&self, ordinal: u32) -> u32 {
+        self.doc_stats
+            .get(ordinal as usize)
+            .map_or(0, |stats| stats.len)
+    }
+
+    /// Id of the document with the given ordinal.
+    pub fn doc_id(&self, ordinal: u32) -> Option<&str> {
+        self.doc_stats
+            .get(ordinal as usize)
+            .map(|stats| stats.id.as_str())
+    }
+
+    /// The full document with the given ordinal.
+    pub fn document(&self, ordinal: u32) -> Option<&Document> {
+        self.corpus.documents().get(ordinal as usize)
+    }
+
+    /// Ordinal of a document id, if indexed.
+    pub fn ordinal_of(&self, doc_id: &str) -> Option<u32> {
+        self.doc_stats
+            .iter()
+            .position(|stats| stats.id == doc_id)
+            .map(|pos| pos as u32)
+    }
+
+    /// Iterate over the dictionary (terms and their document frequencies).
+    pub fn terms(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.postings.iter().map(|(t, p)| (t.as_str(), p.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+
+    fn index() -> InvertedIndex {
+        let mut corpus = Corpus::new();
+        corpus.push(Document::new("a", "", "federer wins match wins"));
+        corpus.push(Document::new("b", "", "djokovic wins slam"));
+        corpus.push(Document::new("c", "", "nadal clay"));
+        IndexBuilder::default().build(&corpus)
+    }
+
+    #[test]
+    fn counts_documents_and_terms() {
+        let idx = index();
+        assert_eq!(idx.num_docs(), 3);
+        assert!(idx.num_terms() >= 6);
+    }
+
+    #[test]
+    fn postings_carry_term_frequencies() {
+        let idx = index();
+        // "wins" stems to "win"; appears twice in doc a and once in doc b.
+        let postings = idx.postings("win").expect("term indexed");
+        assert_eq!(postings.len(), 2);
+        assert_eq!(postings[0], Posting { doc: 0, tf: 2 });
+        assert_eq!(postings[1], Posting { doc: 1, tf: 1 });
+    }
+
+    #[test]
+    fn doc_freq_and_lengths() {
+        let idx = index();
+        assert_eq!(idx.doc_freq("win"), 2);
+        assert_eq!(idx.doc_freq("clay"), 1);
+        assert_eq!(idx.doc_freq("absent"), 0);
+        assert_eq!(idx.doc_len(0), 4);
+        assert_eq!(idx.doc_len(2), 2);
+    }
+
+    #[test]
+    fn average_length() {
+        let idx = index();
+        let expected = (4.0 + 3.0 + 2.0) / 3.0;
+        assert!((idx.avg_doc_len() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordinal_and_id_round_trip() {
+        let idx = index();
+        assert_eq!(idx.doc_id(1), Some("b"));
+        assert_eq!(idx.ordinal_of("b"), Some(1));
+        assert_eq!(idx.ordinal_of("zzz"), None);
+        assert_eq!(idx.document(2).unwrap().id, "c");
+        assert!(idx.document(9).is_none());
+    }
+
+    #[test]
+    fn empty_corpus_index() {
+        let idx = IndexBuilder::default().build(&Corpus::new());
+        assert_eq!(idx.num_docs(), 0);
+        assert_eq!(idx.num_terms(), 0);
+        assert_eq!(idx.avg_doc_len(), 0.0);
+    }
+
+    #[test]
+    fn title_is_indexed() {
+        let mut corpus = Corpus::new();
+        corpus.push(Document::new("t", "Wimbledon Final", "the match"));
+        let idx = IndexBuilder::default().build(&corpus);
+        assert_eq!(idx.doc_freq("wimbledon"), 1);
+    }
+
+    #[test]
+    fn terms_iterator_is_sorted() {
+        let idx = index();
+        let terms: Vec<_> = idx.terms().map(|(t, _)| t.to_string()).collect();
+        let mut sorted = terms.clone();
+        sorted.sort();
+        assert_eq!(terms, sorted);
+    }
+}

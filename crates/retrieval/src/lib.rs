@@ -1,0 +1,53 @@
+//! # rage-retrieval
+//!
+//! A self-contained BM25 retrieval substrate for the RAGE explanation engine.
+//!
+//! The RAGE paper (ICDE 2024) retrieves its context sources with a BM25 model from the
+//! Pyserini toolkit backed by a Lucene inverted index. This crate reproduces that
+//! substrate from scratch in safe Rust:
+//!
+//! * [`tokenize`] — lowercasing word tokenizer, light suffix stemmer and stopword list,
+//!   mirroring Lucene's `EnglishAnalyzer` defaults closely enough for ranking parity.
+//! * [`document`] — the [`Document`](document::Document) and [`Corpus`](document::Corpus)
+//!   types plus JSONL (one-JSON-object-per-line) persistence, the same interchange format
+//!   Pyserini uses for its document collections.
+//! * [`index`] — an in-memory inverted index with per-term postings and per-document
+//!   lengths, built by [`IndexBuilder`](index::IndexBuilder).
+//! * [`bm25`] — Okapi BM25 scoring with tunable `k1`/`b`.
+//! * [`searcher`] — the [`Searcher`](searcher::Searcher) facade producing the ranked
+//!   context `Dq` (a sequence of [`RankedSource`](searcher::RankedSource)) that RAGE
+//!   perturbs.
+//!
+//! ## Example
+//!
+//! ```
+//! use rage_retrieval::document::{Corpus, Document};
+//! use rage_retrieval::index::IndexBuilder;
+//! use rage_retrieval::searcher::Searcher;
+//!
+//! let mut corpus = Corpus::new();
+//! corpus.push(Document::new("d1", "Tennis rankings", "Federer leads total match wins"));
+//! corpus.push(Document::new("d2", "Grand slams", "Djokovic holds the most grand slam titles"));
+//!
+//! let index = IndexBuilder::default().build(&corpus);
+//! let searcher = Searcher::new(index);
+//! let hits = searcher.search("who has the most grand slam titles", 2);
+//! assert_eq!(hits[0].doc_id, "d2");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bm25;
+pub mod document;
+pub mod error;
+pub mod index;
+pub mod searcher;
+pub mod tokenize;
+
+pub use bm25::Bm25Params;
+pub use document::{Corpus, Document};
+pub use error::RetrievalError;
+pub use index::{IndexBuilder, InvertedIndex};
+pub use searcher::{RankedSource, Searcher};
+pub use tokenize::Tokenizer;

@@ -1,0 +1,305 @@
+//! Top-k search over the inverted index.
+//!
+//! [`Searcher`] is the facade RAGE's pipeline talks to. Its [`Searcher::search`] method
+//! plays the role of the paper's retrieval model `M`: given a query `q` and a relevance
+//! threshold `k` it returns the ranked context `Dq`, each entry carrying the retrieval
+//! relevance score used by one of RAGE's two source-scoring methods.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::bm25::{score_all, Bm25Params};
+use crate::document::Document;
+use crate::error::RetrievalError;
+use crate::index::InvertedIndex;
+
+/// One retrieved source: a document plus its rank and BM25 score for the query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedSource {
+    /// Id of the retrieved document.
+    pub doc_id: String,
+    /// 0-based rank in the retrieved list (0 = most relevant).
+    pub rank: usize,
+    /// BM25 relevance score with respect to the query.
+    pub score: f64,
+    /// The retrieved document itself.
+    pub document: Document,
+}
+
+/// Min-heap entry used while selecting the top-k scores.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    score: f64,
+    ordinal: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse on score to make BinaryHeap behave as a min-heap; ties broken by
+        // preferring to *evict* the larger ordinal so earlier documents win ties.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.ordinal.cmp(&other.ordinal))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// BM25 searcher over an [`InvertedIndex`].
+#[derive(Debug, Clone)]
+pub struct Searcher {
+    index: InvertedIndex,
+    params: Bm25Params,
+}
+
+impl Searcher {
+    /// Create a searcher with default (Pyserini) BM25 parameters.
+    pub fn new(index: InvertedIndex) -> Self {
+        Self {
+            index,
+            params: Bm25Params::default(),
+        }
+    }
+
+    /// Override the BM25 parameters.
+    pub fn with_params(mut self, params: Bm25Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The BM25 parameters in use.
+    pub fn params(&self) -> Bm25Params {
+        self.params
+    }
+
+    /// Retrieve the `k` most relevant sources for `query`, most relevant first.
+    ///
+    /// Documents scoring exactly zero (no query term matches) are never returned, so the
+    /// result may be shorter than `k`. Ties are broken by corpus insertion order, which
+    /// keeps results deterministic.
+    pub fn search(&self, query: &str, k: usize) -> Vec<RankedSource> {
+        self.try_search(query, k).unwrap_or_default()
+    }
+
+    /// Like [`Searcher::search`] but reports empty/unanalysable queries as errors.
+    pub fn try_search(&self, query: &str, k: usize) -> Result<Vec<RankedSource>, RetrievalError> {
+        let terms = self.index.tokenizer().tokenize(query);
+        if terms.is_empty() {
+            return Err(RetrievalError::EmptyQuery);
+        }
+        if k == 0 || self.index.num_docs() == 0 {
+            return Ok(Vec::new());
+        }
+
+        let scores = score_all(&self.index, &terms, self.params);
+
+        // Bounded min-heap selection of the top-k positive scores.
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        for (ordinal, &score) in scores.iter().enumerate() {
+            if score <= 0.0 {
+                continue;
+            }
+            heap.push(HeapEntry {
+                score,
+                ordinal: ordinal as u32,
+            });
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+
+        let mut selected: Vec<HeapEntry> = heap.into_vec();
+        selected.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then_with(|| a.ordinal.cmp(&b.ordinal))
+        });
+
+        Ok(selected
+            .into_iter()
+            .enumerate()
+            .map(|(rank, entry)| {
+                let document = self
+                    .index
+                    .document(entry.ordinal)
+                    .expect("ordinal produced by scoring must exist")
+                    .clone();
+                RankedSource {
+                    doc_id: document.id.clone(),
+                    rank,
+                    score: entry.score,
+                    document,
+                }
+            })
+            .collect())
+    }
+
+    /// Score a single document (by id) against a query, even if it would not rank top-k.
+    pub fn score_document(&self, query: &str, doc_id: &str) -> Result<f64, RetrievalError> {
+        let terms = self.index.tokenizer().tokenize(query);
+        if terms.is_empty() {
+            return Err(RetrievalError::EmptyQuery);
+        }
+        let ordinal = self
+            .index
+            .ordinal_of(doc_id)
+            .ok_or_else(|| RetrievalError::UnknownDocument(doc_id.to_string()))?;
+        let scores = score_all(&self.index, &terms, self.params);
+        Ok(scores[ordinal as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{Corpus, Document};
+    use crate::index::IndexBuilder;
+
+    fn searcher() -> Searcher {
+        let mut corpus = Corpus::new();
+        corpus.push(Document::new(
+            "wins",
+            "Match wins",
+            "Roger Federer leads with 369 total match wins in his career",
+        ));
+        corpus.push(Document::new(
+            "slams",
+            "Grand slams",
+            "Novak Djokovic holds 24 grand slam titles, the most of the big three",
+        ));
+        corpus.push(Document::new(
+            "weeks",
+            "Weeks at number one",
+            "Novak Djokovic spent the most weeks ranked number one",
+        ));
+        corpus.push(Document::new(
+            "clay",
+            "Clay courts",
+            "Rafael Nadal dominates on clay with fourteen French Open titles",
+        ));
+        corpus.push(Document::new(
+            "cooking",
+            "Pasta",
+            "Boil water, add salt, cook the pasta until al dente",
+        ));
+        Searcher::new(IndexBuilder::default().build(&corpus))
+    }
+
+    #[test]
+    fn retrieves_relevant_documents_first() {
+        let s = searcher();
+        let hits = s.search("grand slam titles", 3);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].doc_id, "slams");
+        assert!(hits.iter().all(|h| h.doc_id != "cooking"));
+    }
+
+    #[test]
+    fn ranks_are_sequential_and_scores_descending() {
+        let s = searcher();
+        let hits = s.search("djokovic federer nadal titles wins", 5);
+        for (i, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.rank, i);
+        }
+        for pair in hits.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn k_limits_result_size() {
+        let s = searcher();
+        let hits = s.search("djokovic federer nadal", 2);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn zero_score_documents_are_excluded() {
+        let s = searcher();
+        let hits = s.search("federer", 10);
+        assert!(hits.iter().all(|h| h.score > 0.0));
+        assert!(hits.len() < 5);
+    }
+
+    #[test]
+    fn empty_query_is_an_error() {
+        let s = searcher();
+        assert!(matches!(
+            s.try_search("", 3),
+            Err(RetrievalError::EmptyQuery)
+        ));
+        assert!(matches!(
+            s.try_search("the of and", 3),
+            Err(RetrievalError::EmptyQuery)
+        ));
+        // The panic-free wrapper returns an empty list instead.
+        assert!(s.search("", 3).is_empty());
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let s = searcher();
+        assert!(s.search("federer", 0).is_empty());
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let mut corpus = Corpus::new();
+        corpus.push(Document::new("first", "", "identical text here"));
+        corpus.push(Document::new("second", "", "identical text here"));
+        let s = Searcher::new(IndexBuilder::default().build(&corpus));
+        let hits = s.search("identical text", 2);
+        assert_eq!(hits[0].doc_id, "first");
+        assert_eq!(hits[1].doc_id, "second");
+    }
+
+    #[test]
+    fn score_document_matches_search_score() {
+        let s = searcher();
+        let hits = s.search("grand slam titles", 5);
+        let direct = s.score_document("grand slam titles", "slams").unwrap();
+        let from_search = hits.iter().find(|h| h.doc_id == "slams").unwrap().score;
+        assert!((direct - from_search).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_document_unknown_id() {
+        let s = searcher();
+        assert!(matches!(
+            s.score_document("federer", "nope"),
+            Err(RetrievalError::UnknownDocument(_))
+        ));
+    }
+
+    #[test]
+    fn search_on_empty_index() {
+        let s = Searcher::new(IndexBuilder::default().build(&Corpus::new()));
+        assert!(s.search("anything", 5).is_empty());
+    }
+
+    #[test]
+    fn custom_params_change_scores() {
+        let s_default = searcher();
+        let s_robertson = searcher().with_params(Bm25Params::robertson());
+        let d = s_default.search("grand slam titles", 1)[0].score;
+        let r = s_robertson.search("grand slam titles", 1)[0].score;
+        assert_ne!(d, r);
+        assert_eq!(s_robertson.params(), Bm25Params::robertson());
+    }
+}
