@@ -18,11 +18,7 @@ pub struct CombinationIter {
 impl CombinationIter {
     /// Create an iterator over the `C(n, k)` subsets of size `k`.
     pub fn new(n: usize, k: usize) -> Self {
-        let current = if k <= n {
-            Some((0..k).collect())
-        } else {
-            None
-        };
+        let current = if k <= n { Some((0..k).collect()) } else { None };
         Self { n, k, current }
     }
 }
@@ -80,7 +76,7 @@ impl SizeOrderedSubsets {
             n,
             size: 1,
             max_size,
-            inner: CombinationIter::new(n, 1.min(n.max(1))),
+            inner: CombinationIter::new(n, 1),
         }
     }
 

@@ -195,7 +195,7 @@ pub fn brute_force_assignment(costs: &CostMatrix) -> Assignment {
     let mut best: Option<Assignment> = None;
     for perm in crate::permutations::PermutationIter::new(n) {
         let total: f64 = perm.iter().enumerate().map(|(r, &c)| costs.get(r, c)).sum();
-        if best.as_ref().map_or(true, |b| total < b.total) {
+        if best.as_ref().is_none_or(|b| total < b.total) {
             best = Some(Assignment {
                 assignment: perm,
                 total,

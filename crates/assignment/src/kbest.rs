@@ -212,8 +212,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let costs = CostMatrix::from_fn(4, |_, _| rng.gen_range(0.0..10.0));
         let solutions = k_best_assignments(&costs, 24);
-        let unique: HashSet<Vec<usize>> =
-            solutions.iter().map(|a| a.assignment.clone()).collect();
+        let unique: HashSet<Vec<usize>> = solutions.iter().map(|a| a.assignment.clone()).collect();
         assert_eq!(unique.len(), solutions.len());
         // 4! = 24 total assignments exist.
         assert_eq!(solutions.len(), 24);
@@ -274,8 +273,7 @@ mod tests {
         let solutions = k_best_assignments(&costs, 6);
         assert_eq!(solutions.len(), 6);
         assert!(solutions.iter().all(|a| (a.total - 3.0).abs() < 1e-12));
-        let unique: HashSet<Vec<usize>> =
-            solutions.iter().map(|a| a.assignment.clone()).collect();
+        let unique: HashSet<Vec<usize>> = solutions.iter().map(|a| a.assignment.clone()).collect();
         assert_eq!(unique.len(), 6);
     }
 }

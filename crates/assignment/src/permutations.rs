@@ -59,7 +59,7 @@ impl Iterator for PermutationIter {
         let n = self.items.len();
         while self.i < n {
             if self.stack[self.i] < self.i {
-                if self.i % 2 == 0 {
+                if self.i.is_multiple_of(2) {
                     self.items.swap(0, self.i);
                 } else {
                     self.items.swap(self.stack[self.i], self.i);
@@ -263,9 +263,12 @@ mod tests {
             *counts.entry(items).or_insert(0) += 1;
         }
         assert_eq!(counts.len(), 6);
-        for (&ref _perm, &count) in &counts {
+        for &count in counts.values() {
             let frequency = count as f64 / trials as f64;
-            assert!((frequency - 1.0 / 6.0).abs() < 0.03, "frequency {frequency}");
+            assert!(
+                (frequency - 1.0 / 6.0).abs() < 0.03,
+                "frequency {frequency}"
+            );
         }
     }
 
@@ -325,8 +328,10 @@ mod tests {
         let perms = permutations_by_similarity(5, 40);
         assert_eq!(perms[0], vec![0, 1, 2, 3, 4]);
         assert_eq!(perms.len(), 40);
-        let inversion_counts: Vec<u64> =
-            perms.iter().map(|p| crate::kendall::kendall_tau_distance(p)).collect();
+        let inversion_counts: Vec<u64> = perms
+            .iter()
+            .map(|p| crate::kendall::kendall_tau_distance(p))
+            .collect();
         assert!(inversion_counts.windows(2).all(|w| w[0] <= w[1]));
         // The first level after the identity contains exactly the k-1 adjacent swaps.
         assert!(inversion_counts[1..5].iter().all(|&c| c == 1));
@@ -336,7 +341,7 @@ mod tests {
     #[test]
     fn similarity_enumeration_covers_everything_when_unbounded() {
         for k in 0..6usize {
-            let perms = permutations_by_similarity(k, usize::MAX.min(1000));
+            let perms = permutations_by_similarity(k, 1000);
             assert_eq!(perms.len() as u128, factorial(k));
             let unique: HashSet<_> = perms.iter().cloned().collect();
             assert_eq!(unique.len(), perms.len());

@@ -1,1 +1,35 @@
-fn main(){}
+//! E7: counterfactual search cost under the pruned enumeration.
+//!
+//! Each iteration runs on a fresh evaluator so the LLM-call cache does not
+//! flatter the numbers.
+
+use rage_bench::workloads::{evaluator_for, synthetic};
+use rage_bench::{bench, black_box, scaled, section};
+use rage_core::counterfactual::{find_combination_counterfactual, CounterfactualConfig};
+use rage_core::scoring::ScoringMethod;
+
+fn main() {
+    section("counterfactual: top-down combination search");
+    for k in [4usize, 6, 8] {
+        let scenario = synthetic(k);
+        let config = CounterfactualConfig::top_down()
+            .with_scoring(ScoringMethod::RetrievalScore)
+            .with_budget(512);
+        bench(&format!("top-down/k={k}"), scaled(20), || {
+            let evaluator = evaluator_for(&scenario);
+            black_box(find_combination_counterfactual(&evaluator, &config).unwrap());
+        });
+    }
+
+    section("counterfactual: bottom-up combination search");
+    for k in [4usize, 6, 8] {
+        let scenario = synthetic(k);
+        let config = CounterfactualConfig::bottom_up()
+            .with_scoring(ScoringMethod::RetrievalScore)
+            .with_budget(512);
+        bench(&format!("bottom-up/k={k}"), scaled(20), || {
+            let evaluator = evaluator_for(&scenario);
+            black_box(find_combination_counterfactual(&evaluator, &config).unwrap());
+        });
+    }
+}

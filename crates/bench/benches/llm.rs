@@ -1,1 +1,23 @@
-fn main(){}
+//! Latency of one simulated-LLM inference at growing context sizes.
+
+use rage_bench::workloads::synthetic;
+use rage_bench::{bench, black_box, scaled, section};
+use rage_llm::model::{SimLlm, SimLlmConfig};
+use rage_llm::{LanguageModel, LlmInput, SourceText};
+
+fn main() {
+    section("llm: single inference");
+    let llm = SimLlm::new(SimLlmConfig::default());
+    for k in [2usize, 5, 10, 20] {
+        let scenario = synthetic(k);
+        let sources: Vec<SourceText> = scenario
+            .corpus
+            .iter()
+            .map(|d| SourceText::new(d.id.clone(), d.full_text()))
+            .collect();
+        let input = LlmInput::new(scenario.question.clone(), sources);
+        bench(&format!("generate/k={k}"), scaled(50), || {
+            black_box(llm.generate(&input));
+        });
+    }
+}

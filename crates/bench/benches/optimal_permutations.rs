@@ -1,1 +1,30 @@
-fn main(){}
+//! E6: ranked `O(s·k³)` placement enumeration vs the naive `O(k!)` baseline.
+
+use rage_bench::workloads::{evaluator_for, synthetic};
+use rage_bench::{bench, black_box, scaled, section};
+use rage_core::optimal::{naive_orders, ranked_orders, OptimalConfig, OrderObjective};
+use rage_core::scoring::ScoringMethod;
+
+fn main() {
+    let config = OptimalConfig::default()
+        .with_scoring(ScoringMethod::RetrievalScore)
+        .with_num_orders(5);
+
+    section("optimal permutations: ranked k-best assignment");
+    for k in [4usize, 6, 8] {
+        let scenario = synthetic(k);
+        let evaluator = evaluator_for(&scenario);
+        bench(&format!("ranked/k={k}"), scaled(50), || {
+            black_box(ranked_orders(&evaluator, &config, OrderObjective::Best).unwrap());
+        });
+    }
+
+    section("optimal permutations: naive k! enumeration");
+    for k in [4usize, 6, 8] {
+        let scenario = synthetic(k);
+        let evaluator = evaluator_for(&scenario);
+        bench(&format!("naive/k={k}"), scaled(10), || {
+            black_box(naive_orders(&evaluator, &config, OrderObjective::Best).unwrap());
+        });
+    }
+}

@@ -1,1 +1,27 @@
-fn main(){}
+//! §II-C: the `O(k·s)` Fisher–Yates permutation sampler vs the naive `O(k!)`
+//! enumerate-then-sample baseline.
+
+use rage_assignment::permutations::{naive_sample_permutations, sample_permutations};
+use rage_bench::{bench, black_box, scaled, section};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let s = 64usize;
+
+    section("permutation sampling: Fisher-Yates O(k*s)");
+    for k in [5usize, 8, 10] {
+        let mut rng = StdRng::seed_from_u64(17);
+        bench(&format!("fisher-yates/k={k}/s={s}"), scaled(200), || {
+            black_box(sample_permutations(k, s, &mut rng));
+        });
+    }
+
+    section("permutation sampling: naive O(k!)");
+    for k in [5usize, 8] {
+        let mut rng = StdRng::seed_from_u64(17);
+        bench(&format!("naive/k={k}/s={s}"), scaled(10), || {
+            black_box(naive_sample_permutations(k, s, &mut rng));
+        });
+    }
+}

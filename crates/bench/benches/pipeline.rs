@@ -1,1 +1,19 @@
-fn main(){}
+//! End-to-end RAG round trip (retrieve + prompt + generate).
+
+use rage_bench::workloads::{pipeline_for, synthetic};
+use rage_bench::{bench, black_box, scaled, section};
+
+fn main() {
+    section("pipeline: ask");
+    for k in [3usize, 6, 10] {
+        let scenario = synthetic(k);
+        let pipeline = pipeline_for(&scenario);
+        bench(&format!("ask/k={k}"), scaled(50), || {
+            black_box(
+                pipeline
+                    .ask(&scenario.question, scenario.retrieval_k)
+                    .unwrap(),
+            );
+        });
+    }
+}

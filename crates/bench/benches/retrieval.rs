@@ -1,1 +1,36 @@
-fn main(){}
+//! E9: index construction and query latency at growing corpus sizes.
+
+use rage_bench::{bench, black_box, scaled, section};
+use rage_datasets::synthetic::{filler_corpus, filler_queries, FillerConfig};
+use rage_retrieval::{IndexBuilder, Searcher};
+
+fn main() {
+    section("retrieval: index build");
+    for num_docs in [100usize, 1_000, 5_000] {
+        let config = FillerConfig {
+            num_docs,
+            ..FillerConfig::default()
+        };
+        let corpus = filler_corpus(config);
+        bench(&format!("build/docs={num_docs}"), scaled(10), || {
+            black_box(IndexBuilder::default().build(&corpus));
+        });
+    }
+
+    section("retrieval: top-5 query");
+    for num_docs in [100usize, 1_000, 5_000] {
+        let config = FillerConfig {
+            num_docs,
+            ..FillerConfig::default()
+        };
+        let corpus = filler_corpus(config);
+        let searcher = Searcher::new(IndexBuilder::default().build(&corpus));
+        let queries = filler_queries(config, 32);
+        let mut next = 0usize;
+        bench(&format!("query/docs={num_docs}"), scaled(200), || {
+            let query = &queries[next % queries.len()];
+            next += 1;
+            black_box(searcher.search(query, 5));
+        });
+    }
+}

@@ -1,1 +1,22 @@
-fn main(){}
+//! Full explanation reports over the three paper use cases (§III).
+
+use rage_bench::workloads::evaluator_for;
+use rage_bench::{bench, black_box, scaled, section};
+use rage_core::explanation::ReportConfig;
+use rage_core::RageReport;
+use rage_datasets::{big_three, timeline, us_open};
+
+fn main() {
+    section("use cases: full RageReport");
+    for scenario in [
+        big_three::scenario(),
+        us_open::scenario(),
+        timeline::scenario(),
+    ] {
+        let config = ReportConfig::default();
+        bench(&format!("report/{}", scenario.name), scaled(10), || {
+            let evaluator = evaluator_for(&scenario);
+            black_box(RageReport::generate(&evaluator, &config).unwrap());
+        });
+    }
+}

@@ -1,1 +1,41 @@
-fn main(){}
+//! Smoke harness: run a full explanation over every demonstration scenario
+//! and print the summaries plus cost accounting.
+//!
+//! `cargo run -p rage-bench --bin harness [--fast]`
+
+use rage_bench::workloads::evaluator_for;
+use rage_core::explanation::ReportConfig;
+use rage_core::RageReport;
+use rage_datasets::{big_three, timeline, us_open};
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let mut config = ReportConfig::default();
+    if fast {
+        config.insight_samples = 8;
+        config.permutation_budget = Some(32);
+    }
+
+    for scenario in [
+        big_three::scenario(),
+        us_open::scenario(),
+        timeline::scenario(),
+    ] {
+        println!("=== scenario: {} ===", scenario.name);
+        let evaluator = evaluator_for(&scenario);
+        let start = std::time::Instant::now();
+        match RageReport::generate(&evaluator, &config) {
+            Ok(report) => {
+                print!("{}", report.summary());
+                println!(
+                    "expected answer: {} | elapsed: {:?}\n",
+                    scenario.expected_full_context_answer,
+                    start.elapsed()
+                );
+            }
+            Err(err) => {
+                println!("error: {err}\n");
+            }
+        }
+    }
+}

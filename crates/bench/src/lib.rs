@@ -1,1 +1,154 @@
-//! stub
+//! # rage-bench
+//!
+//! A dependency-free micro-benchmark harness for the RAGE workspace.
+//!
+//! The environment has no access to `criterion`, so the bench targets use this
+//! small fixed-iteration harness instead: warm up, time a batch, report
+//! min/mean per-iteration latency. Absolute numbers are indicative only; the
+//! interesting outputs are the *ratios* the paper's experiments compare
+//! (pruned vs exhaustive search, `O(s·k³)` vs `O(k!)` placements, `O(k·s)` vs
+//! `O(k!)` sampling).
+//!
+//! Run everything with `cargo bench`, or one target with
+//! `cargo bench --bench optimal_permutations`. The `RAGE_BENCH_FAST=1`
+//! environment variable shrinks iteration counts for smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing result of one benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Label of the case.
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: u64,
+    /// Total elapsed wall-clock time.
+    pub total: Duration,
+    /// Fastest single iteration.
+    pub min: Duration,
+}
+
+impl BenchResult {
+    /// Mean time per iteration.
+    pub fn mean(&self) -> Duration {
+        self.total / self.iters.max(1) as u32
+    }
+}
+
+/// Whether `RAGE_BENCH_FAST=1` asked for a smoke run.
+pub fn fast_mode() -> bool {
+    std::env::var("RAGE_BENCH_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Scale an iteration count down in fast mode (but never to zero).
+pub fn scaled(iters: u64) -> u64 {
+    if fast_mode() {
+        (iters / 10).max(1)
+    } else {
+        iters
+    }
+}
+
+/// Time `f` for `iters` iterations after `iters / 10 + 1` warm-up runs.
+pub fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) -> BenchResult {
+    for _ in 0..(iters / 10 + 1) {
+        f();
+    }
+    let mut min = Duration::MAX;
+    let start = Instant::now();
+    for _ in 0..iters {
+        let iteration = Instant::now();
+        f();
+        min = min.min(iteration.elapsed());
+    }
+    let total = start.elapsed();
+    let result = BenchResult {
+        name: name.to_string(),
+        iters,
+        total,
+        min,
+    };
+    print_result(&result);
+    result
+}
+
+fn print_result(result: &BenchResult) {
+    println!(
+        "{:<44} {:>10} iters  mean {:>12?}  min {:>12?}",
+        result.name,
+        result.iters,
+        result.mean(),
+        result.min
+    );
+}
+
+/// Print a section header.
+pub fn section(title: &str) {
+    println!("\n== {title} ==");
+}
+
+/// Shared benchmark workloads (pipelines and evaluators over the scenarios).
+pub mod workloads {
+    use std::sync::Arc;
+
+    use rage_core::{Evaluator, RagPipeline};
+    use rage_datasets::synthetic::{ranking_scenario, RankingConfig};
+    use rage_datasets::Scenario;
+    use rage_llm::model::{SimLlm, SimLlmConfig};
+    use rage_retrieval::{IndexBuilder, Searcher};
+
+    /// A pipeline over a scenario's corpus, with its prior knowledge attached.
+    pub fn pipeline_for(scenario: &Scenario) -> RagPipeline {
+        let searcher = Searcher::new(IndexBuilder::default().build(&scenario.corpus));
+        let llm = SimLlm::new(SimLlmConfig::default().with_prior(scenario.prior.clone()));
+        RagPipeline::new(searcher, Arc::new(llm))
+    }
+
+    /// A fresh evaluator (empty cache) over a scenario's retrieved context.
+    pub fn evaluator_for(scenario: &Scenario) -> Evaluator {
+        let pipeline = pipeline_for(scenario);
+        let (_, evaluator) = pipeline
+            .ask_and_explain(&scenario.question, scenario.retrieval_k)
+            .expect("scenario question retrieves a context");
+        evaluator
+    }
+
+    /// A synthetic ranking scenario with `k` sources.
+    pub fn synthetic(k: usize) -> Scenario {
+        ranking_scenario(RankingConfig {
+            num_sources: k,
+            ..RankingConfig::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut count = 0u64;
+        let result = bench("noop", 10, || {
+            count += 1;
+            black_box(count);
+        });
+        assert_eq!(result.iters, 10);
+        // 10 timed + at least 1 warm-up.
+        assert!(count >= 11);
+        assert!(result.mean() >= result.min);
+    }
+
+    #[test]
+    fn scaled_never_reaches_zero() {
+        assert!(scaled(1) >= 1);
+        assert!(scaled(1000) >= 1);
+    }
+}

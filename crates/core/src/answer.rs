@@ -13,11 +13,9 @@ pub fn normalize_answer(answer: &str) -> String {
         if ch.is_alphanumeric() {
             out.push(ch);
             last_was_space = false;
-        } else if ch.is_whitespace() || ch.is_ascii_punctuation() {
-            if !last_was_space {
-                out.push(' ');
-                last_was_space = true;
-            }
+        } else if (ch.is_whitespace() || ch.is_ascii_punctuation()) && !last_was_space {
+            out.push(' ');
+            last_was_space = true;
         }
         // Other characters (symbols, emoji) are dropped entirely.
     }

@@ -108,6 +108,15 @@ impl Context {
         self.sources.iter().map(|s| s.retrieval_score).collect()
     }
 
+    /// The document ids at the given context positions, preserving the given
+    /// order; out-of-range positions are skipped.
+    pub fn doc_ids(&self, positions: &[usize]) -> Vec<&str> {
+        positions
+            .iter()
+            .filter_map(|&i| self.get(i).map(|s| s.doc_id.as_str()))
+            .collect()
+    }
+
     /// The structured source list handed to the language model for the *unperturbed*
     /// context.
     pub fn to_source_texts(&self) -> Vec<SourceText> {

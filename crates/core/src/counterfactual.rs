@@ -1,0 +1,548 @@
+//! Counterfactual search over combinations and permutations (§II-C).
+//!
+//! A *combination counterfactual* is a set of sources whose removal (top-down)
+//! or retention (bottom-up) changes the model's answer; it acts as a citation
+//! for the original answer. A *permutation counterfactual* is a re-ordering of
+//! the full context that changes the answer; it exposes position bias.
+//!
+//! Both candidate spaces are exponential (`2^k` subsets, `k!` orders), so the
+//! searches prune exactly the way the paper prescribes:
+//!
+//! * combinations are evaluated in **increasing size**, and inside one size
+//!   class in **decreasing estimated relevance** (attention- or
+//!   retrieval-score-based, [`ScoringMethod`]) — the sources most relevant to
+//!   the answer are the most likely to flip it;
+//! * permutations are evaluated in **decreasing Kendall-tau similarity** to the
+//!   original order — the least disruptive re-orderings first;
+//! * every search runs under an optional **evaluation budget**; the
+//!   [`Evaluator`] caches and counts the underlying LLM calls (cost metric of
+//!   experiment E7).
+
+use serde::{Deserialize, Serialize};
+
+use rage_assignment::combinations::{complement, CombinationIter};
+use rage_assignment::kendall::kendall_tau;
+use rage_assignment::numeric::factorial;
+use rage_assignment::permutations::permutations_by_similarity;
+
+use crate::answer::answers_equal;
+use crate::error::RageError;
+use crate::evaluator::Evaluator;
+use crate::perturbation::Perturbation;
+use crate::scoring::ScoringMethod;
+
+/// Which end of the subset lattice the combination search starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SearchDirection {
+    /// Start from the full context and *remove* sources: a counterfactual is a
+    /// minimal removal set that changes the full-context answer.
+    #[default]
+    TopDown,
+    /// Start from the empty context and *retain* sources: a counterfactual is a
+    /// minimal retained set that changes the empty-context (prior) answer.
+    BottomUp,
+}
+
+/// Configuration of the combination counterfactual search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CounterfactualConfig {
+    /// Search direction (top-down removal by default).
+    pub direction: SearchDirection,
+    /// Relevance estimator used to order equal-size candidates.
+    pub scoring: ScoringMethod,
+    /// Largest candidate set size to consider (defaults to `k`).
+    pub max_size: Option<usize>,
+    /// Maximum number of candidate evaluations before giving up (unlimited by
+    /// default; the baseline answers are not counted).
+    pub budget: Option<usize>,
+}
+
+impl CounterfactualConfig {
+    /// A top-down (removal) configuration.
+    pub fn top_down() -> Self {
+        Self {
+            direction: SearchDirection::TopDown,
+            ..Self::default()
+        }
+    }
+
+    /// A bottom-up (retention) configuration.
+    pub fn bottom_up() -> Self {
+        Self {
+            direction: SearchDirection::BottomUp,
+            ..Self::default()
+        }
+    }
+
+    /// Set the relevance estimator (builder style).
+    pub fn with_scoring(mut self, scoring: ScoringMethod) -> Self {
+        self.scoring = scoring;
+        self
+    }
+
+    /// Bound the candidate set size (builder style).
+    pub fn with_max_size(mut self, max_size: usize) -> Self {
+        self.max_size = Some(max_size);
+        self
+    }
+
+    /// Bound the number of candidate evaluations (builder style).
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// Cost accounting for one search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SearchStats {
+    /// Number of candidate perturbations evaluated (cache hits included).
+    pub candidates: usize,
+    /// Number of *new* LLM inferences the search caused.
+    pub llm_calls: usize,
+}
+
+/// A combination whose removal/retention changes the answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinationCounterfactual {
+    /// Context positions removed relative to the full context.
+    pub removed: Vec<usize>,
+    /// Context positions retained (the evaluated combination).
+    pub kept: Vec<usize>,
+    /// The answer being explained (full-context for top-down, empty-context
+    /// for bottom-up).
+    pub baseline_answer: String,
+    /// The answer after the perturbation — different from the baseline.
+    pub answer: String,
+}
+
+impl CombinationCounterfactual {
+    /// The counterfactual's *active* positions: the removed set for top-down
+    /// searches, the retained set for bottom-up searches. These are the sources
+    /// the explanation cites.
+    pub fn cited_positions(&self, direction: SearchDirection) -> &[usize] {
+        match direction {
+            SearchDirection::TopDown => &self.removed,
+            SearchDirection::BottomUp => &self.kept,
+        }
+    }
+}
+
+/// Result of a combination counterfactual search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinationOutcome {
+    /// The first (smallest, most relevant) counterfactual found, if any.
+    pub counterfactual: Option<CombinationCounterfactual>,
+    /// Whether the search stopped early because the evaluation budget ran out.
+    pub exhausted_budget: bool,
+    /// Cost accounting.
+    pub stats: SearchStats,
+}
+
+/// A full-context re-ordering that changes the answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PermutationCounterfactual {
+    /// The counterfactual order: entry `p` is the context position of the
+    /// source placed at prompt position `p`.
+    pub order: Vec<usize>,
+    /// Kendall's tau between the counterfactual order and the original one
+    /// (high tau = small disruption).
+    pub tau: f64,
+    /// The full-context answer being explained.
+    pub baseline_answer: String,
+    /// The answer under the re-ordered context — different from the baseline.
+    pub answer: String,
+}
+
+/// Result of a permutation counterfactual search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PermutationOutcome {
+    /// The most-similar answer-changing re-ordering found, if any.
+    pub counterfactual: Option<PermutationCounterfactual>,
+    /// Whether the search stopped early because the evaluation budget ran out.
+    pub exhausted_budget: bool,
+    /// Cost accounting.
+    pub stats: SearchStats,
+}
+
+/// Default cap on permutation candidates when no explicit budget is given
+/// (6! = 720; beyond that the similarity frontier is too wide to enumerate
+/// blindly and callers should set a budget).
+pub const DEFAULT_PERMUTATION_BUDGET: usize = 720;
+
+/// Search for the smallest, most relevant combination counterfactual.
+///
+/// Candidates are enumerated in increasing set size; equal-size candidates are
+/// evaluated in decreasing estimated relevance. The search stops at the first
+/// answer change, after the whole (size-bounded) space has been evaluated, or
+/// when the evaluation budget runs out — the returned
+/// [`CombinationOutcome::exhausted_budget`] flag distinguishes the last two.
+pub fn find_combination_counterfactual(
+    evaluator: &Evaluator,
+    config: &CounterfactualConfig,
+) -> Result<CombinationOutcome, RageError> {
+    let k = evaluator.k();
+    let llm_calls_before = evaluator.llm_calls();
+    let baseline = match config.direction {
+        SearchDirection::TopDown => evaluator.full_context_answer()?,
+        SearchDirection::BottomUp => evaluator.empty_context_answer()?,
+    };
+    let scores = config.scoring.source_scores(evaluator)?;
+    let max_size = config.max_size.unwrap_or(k).min(k);
+
+    let mut candidates = 0usize;
+    for size in 1..=max_size {
+        // The candidate sets of this size: removal sets for top-down,
+        // retained sets for bottom-up. Either way the set's relevance is the
+        // sum of its members' scores, and more relevant sets go first.
+        let mut sets: Vec<Vec<usize>> = CombinationIter::new(k, size).collect();
+        sets.sort_by(|a, b| {
+            let sa = ScoringMethod::combination_score(&scores, a);
+            let sb = ScoringMethod::combination_score(&scores, b);
+            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        for set in sets {
+            if let Some(budget) = config.budget {
+                if candidates >= budget {
+                    return Ok(CombinationOutcome {
+                        counterfactual: None,
+                        exhausted_budget: true,
+                        stats: SearchStats {
+                            candidates,
+                            llm_calls: evaluator.llm_calls() - llm_calls_before,
+                        },
+                    });
+                }
+            }
+            let (kept, removed) = match config.direction {
+                SearchDirection::TopDown => (complement(k, &set), set),
+                SearchDirection::BottomUp => {
+                    let removed = complement(k, &set);
+                    (set, removed)
+                }
+            };
+            let answer = evaluator.answer_for(&Perturbation::Combination(kept.clone()))?;
+            candidates += 1;
+            if !answers_equal(&answer, &baseline) {
+                return Ok(CombinationOutcome {
+                    counterfactual: Some(CombinationCounterfactual {
+                        removed,
+                        kept,
+                        baseline_answer: baseline,
+                        answer,
+                    }),
+                    exhausted_budget: false,
+                    stats: SearchStats {
+                        candidates,
+                        llm_calls: evaluator.llm_calls() - llm_calls_before,
+                    },
+                });
+            }
+        }
+    }
+
+    Ok(CombinationOutcome {
+        counterfactual: None,
+        exhausted_budget: false,
+        stats: SearchStats {
+            candidates,
+            llm_calls: evaluator.llm_calls() - llm_calls_before,
+        },
+    })
+}
+
+/// Like [`find_combination_counterfactual`] but demands a result: failing to
+/// find one (budget exhausted or space exhausted) is a
+/// [`RageError::BudgetExhausted`].
+pub fn require_combination_counterfactual(
+    evaluator: &Evaluator,
+    config: &CounterfactualConfig,
+) -> Result<CombinationCounterfactual, RageError> {
+    let outcome = find_combination_counterfactual(evaluator, config)?;
+    outcome.counterfactual.ok_or(RageError::BudgetExhausted {
+        evaluated: outcome.stats.candidates,
+    })
+}
+
+/// Search for the answer-changing re-ordering most similar to the original.
+///
+/// Candidate permutations are enumerated in decreasing Kendall-tau similarity
+/// (increasing inversion count) and evaluated until the answer changes. At most
+/// `budget` candidates — [`DEFAULT_PERMUTATION_BUDGET`] when `None` — are
+/// evaluated; the identity order is not a candidate.
+pub fn find_permutation_counterfactual(
+    evaluator: &Evaluator,
+    budget: Option<usize>,
+) -> Result<PermutationOutcome, RageError> {
+    let k = evaluator.k();
+    let llm_calls_before = evaluator.llm_calls();
+    let baseline = evaluator.full_context_answer()?;
+    let budget = budget.unwrap_or(DEFAULT_PERMUTATION_BUDGET);
+
+    // Total non-identity permutations; saturating, only compared against the
+    // budget to decide whether the space (not just the budget) was exhausted.
+    let space = factorial(k).saturating_sub(1);
+    let limit = (budget as u128).min(space) as usize;
+
+    // `permutations_by_similarity` yields the identity first; skip it.
+    let candidates_in_order = permutations_by_similarity(k, limit + 1);
+    let mut candidates = 0usize;
+    for order in candidates_in_order.into_iter().skip(1) {
+        let answer = evaluator.answer_for(&Perturbation::Permutation(order.clone()))?;
+        candidates += 1;
+        if !answers_equal(&answer, &baseline) {
+            let tau = kendall_tau(&order);
+            return Ok(PermutationOutcome {
+                counterfactual: Some(PermutationCounterfactual {
+                    order,
+                    tau,
+                    baseline_answer: baseline,
+                    answer,
+                }),
+                exhausted_budget: false,
+                stats: SearchStats {
+                    candidates,
+                    llm_calls: evaluator.llm_calls() - llm_calls_before,
+                },
+            });
+        }
+    }
+
+    Ok(PermutationOutcome {
+        counterfactual: None,
+        exhausted_budget: (candidates as u128) < space,
+        stats: SearchStats {
+            candidates,
+            llm_calls: evaluator.llm_calls() - llm_calls_before,
+        },
+    })
+}
+
+/// Like [`find_permutation_counterfactual`] but demands a result.
+pub fn require_permutation_counterfactual(
+    evaluator: &Evaluator,
+    budget: Option<usize>,
+) -> Result<PermutationCounterfactual, RageError> {
+    let outcome = find_permutation_counterfactual(evaluator, budget)?;
+    outcome.counterfactual.ok_or(RageError::BudgetExhausted {
+        evaluated: outcome.stats.candidates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use rage_llm::{Generation, LanguageModel, LlmInput};
+    use rage_retrieval::Document;
+    use std::sync::Arc;
+    use std::sync::Mutex;
+
+    /// Answers with the id of the first source ("nothing" on empty context)
+    /// and reports the given attention profile over the full context.
+    struct FirstSourceLlm {
+        attention: Vec<f64>,
+        calls: Mutex<Vec<Vec<String>>>,
+    }
+
+    impl FirstSourceLlm {
+        fn uniform(k: usize) -> Self {
+            Self {
+                attention: vec![1.0 / k as f64; k],
+                calls: Mutex::new(Vec::new()),
+            }
+        }
+
+        fn with_attention(attention: Vec<f64>) -> Self {
+            Self {
+                attention,
+                calls: Mutex::new(Vec::new()),
+            }
+        }
+    }
+
+    impl LanguageModel for FirstSourceLlm {
+        fn generate(&self, input: &LlmInput) -> Generation {
+            self.calls
+                .lock()
+                .unwrap()
+                .push(input.sources.iter().map(|s| s.id.clone()).collect());
+            let answer = input
+                .sources
+                .first()
+                .map(|s| s.id.clone())
+                .unwrap_or_else(|| "nothing".to_string());
+            let attention = if input.sources.len() == self.attention.len() {
+                self.attention.clone()
+            } else {
+                vec![1.0; input.sources.len()]
+            };
+            Generation {
+                answer: answer.clone(),
+                text: answer,
+                source_attention: attention,
+                prompt_tokens: 1,
+            }
+        }
+        fn name(&self) -> &str {
+            "first-source"
+        }
+    }
+
+    /// Always answers the same thing regardless of context.
+    struct ConstantLlm;
+
+    impl LanguageModel for ConstantLlm {
+        fn generate(&self, input: &LlmInput) -> Generation {
+            Generation {
+                answer: "same".into(),
+                text: "same".into(),
+                source_attention: vec![1.0; input.sources.len()],
+                prompt_tokens: 1,
+            }
+        }
+    }
+
+    fn context(k: usize) -> Context {
+        let docs: Vec<Document> = (0..k)
+            .map(|i| {
+                let id = char::from(b'a' + i as u8).to_string();
+                Document::new(id.clone(), "", format!("text {id}"))
+            })
+            .collect();
+        Context::from_documents("which one?", &docs)
+    }
+
+    #[test]
+    fn top_down_finds_the_first_source_removal() {
+        let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::uniform(3)), context(3));
+        let outcome =
+            find_combination_counterfactual(&evaluator, &CounterfactualConfig::top_down()).unwrap();
+        let cf = outcome.counterfactual.expect("counterfactual exists");
+        assert_eq!(cf.removed, vec![0]);
+        assert_eq!(cf.kept, vec![1, 2]);
+        assert_eq!(cf.baseline_answer, "a");
+        assert_eq!(cf.answer, "b");
+        assert_eq!(cf.cited_positions(SearchDirection::TopDown), &[0]);
+        assert!(!outcome.exhausted_budget);
+        assert!(outcome.stats.candidates >= 1);
+    }
+
+    #[test]
+    fn bottom_up_finds_the_smallest_retained_set() {
+        let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::uniform(3)), context(3));
+        let outcome =
+            find_combination_counterfactual(&evaluator, &CounterfactualConfig::bottom_up())
+                .unwrap();
+        let cf = outcome.counterfactual.expect("counterfactual exists");
+        assert_eq!(cf.kept.len(), 1);
+        assert_eq!(cf.baseline_answer, "nothing");
+        assert_ne!(cf.answer, "nothing");
+        assert_eq!(cf.removed.len(), 2);
+        assert_eq!(
+            cf.cited_positions(SearchDirection::BottomUp),
+            cf.kept.as_slice()
+        );
+    }
+
+    #[test]
+    fn relevance_orders_equal_size_candidates() {
+        // Source 1 has the highest attention, so the first top-down candidate
+        // must be the removal of source 1 (context without "b").
+        let llm = Arc::new(FirstSourceLlm::with_attention(vec![0.2, 0.5, 0.3]));
+        let evaluator = Evaluator::new(llm.clone(), context(3));
+        // ConstantLlm-like behaviour is not needed; we only inspect call order.
+        let config = CounterfactualConfig::top_down().with_max_size(1);
+        find_combination_counterfactual(&evaluator, &config).unwrap();
+        let calls = llm.calls.lock().unwrap();
+        // Call 0 is the full-context baseline (also provides attention);
+        // call 1 is the first candidate: sources {a, c} (source b removed).
+        assert_eq!(calls[0], vec!["a", "b", "c"]);
+        assert_eq!(calls[1], vec!["a", "c"]);
+    }
+
+    #[test]
+    fn no_counterfactual_in_the_searched_space_is_ok_none() {
+        let evaluator = Evaluator::new(Arc::new(ConstantLlm), context(3));
+        let outcome =
+            find_combination_counterfactual(&evaluator, &CounterfactualConfig::top_down()).unwrap();
+        assert!(outcome.counterfactual.is_none());
+        assert!(!outcome.exhausted_budget);
+        // All 2^3 - 1 = 7 non-full subsets of removals == 7 candidates.
+        assert_eq!(outcome.stats.candidates, 7);
+    }
+
+    #[test]
+    fn budget_stops_the_search_early() {
+        let evaluator = Evaluator::new(Arc::new(ConstantLlm), context(4));
+        let config = CounterfactualConfig::top_down().with_budget(3);
+        let outcome = find_combination_counterfactual(&evaluator, &config).unwrap();
+        assert!(outcome.counterfactual.is_none());
+        assert!(outcome.exhausted_budget);
+        assert_eq!(outcome.stats.candidates, 3);
+
+        let err = require_combination_counterfactual(&evaluator, &config).unwrap_err();
+        assert!(matches!(err, RageError::BudgetExhausted { evaluated: 3 }));
+    }
+
+    #[test]
+    fn cache_makes_repeated_searches_free() {
+        let evaluator = Evaluator::new(Arc::new(ConstantLlm), context(3));
+        let config = CounterfactualConfig::top_down();
+        let first = find_combination_counterfactual(&evaluator, &config).unwrap();
+        assert!(first.stats.llm_calls > 0);
+        let second = find_combination_counterfactual(&evaluator, &config).unwrap();
+        assert_eq!(second.stats.llm_calls, 0);
+        assert_eq!(second.stats.candidates, first.stats.candidates);
+    }
+
+    #[test]
+    fn permutation_search_finds_the_most_similar_flip() {
+        let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::uniform(3)), context(3));
+        let outcome = find_permutation_counterfactual(&evaluator, None).unwrap();
+        let cf = outcome.counterfactual.expect("counterfactual exists");
+        // The single-inversion orders are [0,2,1] (same first source, same
+        // answer) and [1,0,2] (answer flips to "b"); the search must find the
+        // latter and never report the identity.
+        assert_eq!(cf.order, vec![1, 0, 2]);
+        assert_eq!(cf.baseline_answer, "a");
+        assert_eq!(cf.answer, "b");
+        assert!((cf.tau - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_search_exhausts_small_spaces() {
+        let evaluator = Evaluator::new(Arc::new(ConstantLlm), context(3));
+        let outcome = find_permutation_counterfactual(&evaluator, None).unwrap();
+        assert!(outcome.counterfactual.is_none());
+        assert!(!outcome.exhausted_budget);
+        // 3! - 1 = 5 non-identity orders.
+        assert_eq!(outcome.stats.candidates, 5);
+    }
+
+    #[test]
+    fn permutation_budget_is_respected() {
+        let evaluator = Evaluator::new(Arc::new(ConstantLlm), context(4));
+        let outcome = find_permutation_counterfactual(&evaluator, Some(4)).unwrap();
+        assert!(outcome.counterfactual.is_none());
+        assert!(outcome.exhausted_budget);
+        assert_eq!(outcome.stats.candidates, 4);
+        assert!(matches!(
+            require_permutation_counterfactual(&evaluator, Some(4)),
+            Err(RageError::BudgetExhausted { evaluated: 4 })
+        ));
+    }
+
+    #[test]
+    fn retrieval_scoring_skips_the_attention_call() {
+        let llm = Arc::new(ConstantLlm);
+        let evaluator = Evaluator::new(llm, context(3));
+        let config = CounterfactualConfig::top_down()
+            .with_scoring(ScoringMethod::RetrievalScore)
+            .with_budget(1);
+        let outcome = find_combination_counterfactual(&evaluator, &config).unwrap();
+        // One baseline + one candidate; no extra attention read-out call.
+        assert_eq!(outcome.stats.llm_calls, 2);
+    }
+}

@@ -78,18 +78,35 @@ impl Evaluator {
         self.cache.borrow().len()
     }
 
+    /// Cache-canonical form of a perturbation: the identity permutation
+    /// produces the same prompt as the full-context combination, so both map
+    /// to one cache entry (and one LLM call).
+    fn canonical(&self, perturbation: &Perturbation) -> Perturbation {
+        match perturbation {
+            Perturbation::Permutation(order)
+                if order.len() == self.context.len()
+                    && order
+                        .iter()
+                        .enumerate()
+                        .all(|(prompt, &source)| prompt == source) =>
+            {
+                Perturbation::Combination(order.clone())
+            }
+            _ => perturbation.clone(),
+        }
+    }
+
     /// The full generation (answer + attention read-out) for a perturbation.
     pub fn generation_for(&self, perturbation: &Perturbation) -> Result<Generation, RageError> {
-        if let Some(hit) = self.cache.borrow().get(perturbation) {
+        let key = self.canonical(perturbation);
+        if let Some(hit) = self.cache.borrow().get(&key) {
             return Ok(hit.clone());
         }
         let sources = perturbation.apply(&self.context)?;
         let input = self.prompt_builder.build_input(&self.question, &sources);
         let generation = self.llm.generate(&input);
         self.llm_calls.set(self.llm_calls.get() + 1);
-        self.cache
-            .borrow_mut()
-            .insert(perturbation.clone(), generation.clone());
+        self.cache.borrow_mut().insert(key, generation.clone());
         Ok(generation)
     }
 
@@ -152,7 +169,10 @@ mod tests {
             Generation {
                 answer: answer.clone(),
                 text: answer,
-                source_attention: vec![1.0 / input.sources.len().max(1) as f64; input.sources.len()],
+                source_attention: vec![
+                    1.0 / input.sources.len().max(1) as f64;
+                    input.sources.len()
+                ],
                 prompt_tokens: 1,
             }
         }
@@ -202,6 +222,24 @@ mod tests {
         assert_eq!(evaluator.llm_calls(), 1);
         assert_eq!(llm.calls.load(Ordering::SeqCst), 1);
         assert_eq!(evaluator.evaluations(), 1);
+    }
+
+    #[test]
+    fn identity_permutation_shares_the_full_context_cache_entry() {
+        let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::new()), context());
+        evaluator.full_context_answer().unwrap();
+        let via_permutation = evaluator
+            .answer_for(&Perturbation::identity_permutation(3))
+            .unwrap();
+        assert_eq!(via_permutation, "a");
+        // Same prompt, one inference, one cache entry.
+        assert_eq!(evaluator.llm_calls(), 1);
+        assert_eq!(evaluator.evaluations(), 1);
+        // A *shorter* prefix permutation is not the identity and must still be
+        // rejected as invalid rather than aliased to a combination.
+        assert!(evaluator
+            .answer_for(&Perturbation::Permutation(vec![0, 1]))
+            .is_err());
     }
 
     #[test]

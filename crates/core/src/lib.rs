@@ -47,14 +47,30 @@
 //! use std::sync::Arc;
 //!
 //! let mut corpus = Corpus::new();
-//! corpus.push(Document::new("a", "Slams", "Novak Djokovic holds the most grand slam titles."));
-//! corpus.push(Document::new("b", "Wins", "Roger Federer leads total match wins."));
+//! corpus.push(Document::new(
+//!     "slams",
+//!     "Grand slams",
+//!     "Novak Djokovic holds the most grand slam titles.",
+//! ));
+//! corpus.push(Document::new("wins", "Match wins", "Roger Federer leads total match wins."));
 //! let searcher = Searcher::new(IndexBuilder::default().build(&corpus));
 //! let llm = Arc::new(SimLlm::new(SimLlmConfig::default()));
 //!
 //! let pipeline = RagPipeline::new(searcher, llm);
 //! let response = pipeline.ask("Who holds the most grand slam titles?", 2).unwrap();
 //! assert_eq!(response.answer(), "Novak Djokovic");
+//!
+//! // Explain it: the smallest source removal that changes the answer.
+//! let evaluator = pipeline.evaluator(response.context.clone());
+//! let outcome = rage_core::counterfactual::find_combination_counterfactual(
+//!     &evaluator,
+//!     &CounterfactualConfig::top_down().with_scoring(ScoringMethod::RetrievalScore),
+//! )
+//! .unwrap();
+//! let citation = outcome.counterfactual.expect("an answer-changing removal exists");
+//! assert!(citation.removed.contains(&0));
+//! assert_ne!(citation.answer, "Novak Djokovic");
+//! # let _ = SearchDirection::TopDown;
 //! ```
 
 #![forbid(unsafe_code)]
@@ -78,6 +94,6 @@ pub use context::{Context, ContextSource};
 pub use error::RageError;
 pub use evaluator::Evaluator;
 pub use explanation::RageReport;
-pub use pipeline::{RagPipeline, RagResponse};
 pub use perturbation::Perturbation;
+pub use pipeline::{RagPipeline, RagResponse};
 pub use scoring::ScoringMethod;

@@ -119,9 +119,7 @@ impl Perturbation {
     /// The context positions removed by a combination (empty for permutations).
     pub fn removed_positions(&self, k: usize) -> Vec<usize> {
         match self {
-            Perturbation::Combination(kept) => {
-                (0..k).filter(|i| !kept.contains(i)).collect()
-            }
+            Perturbation::Combination(kept) => (0..k).filter(|i| !kept.contains(i)).collect(),
             Perturbation::Permutation(_) => Vec::new(),
         }
     }
@@ -133,19 +131,11 @@ impl Perturbation {
                 if kept.is_empty() {
                     "empty context".to_string()
                 } else {
-                    let ids: Vec<&str> = kept
-                        .iter()
-                        .filter_map(|&i| context.get(i).map(|s| s.doc_id.as_str()))
-                        .collect();
-                    format!("keep {{{}}}", ids.join(", "))
+                    format!("keep {{{}}}", context.doc_ids(kept).join(", "))
                 }
             }
             Perturbation::Permutation(order) => {
-                let ids: Vec<&str> = order
-                    .iter()
-                    .filter_map(|&i| context.get(i).map(|s| s.doc_id.as_str()))
-                    .collect();
-                format!("order [{}]", ids.join(" -> "))
+                format!("order [{}]", context.doc_ids(order).join(" -> "))
             }
         }
     }
@@ -207,7 +197,9 @@ mod tests {
     #[test]
     fn permutation_apply_reorders() {
         let ctx = context();
-        let sources = Perturbation::Permutation(vec![2, 0, 1]).apply(&ctx).unwrap();
+        let sources = Perturbation::Permutation(vec![2, 0, 1])
+            .apply(&ctx)
+            .unwrap();
         let ids: Vec<&str> = sources.iter().map(|s| s.id.as_str()).collect();
         assert_eq!(ids, vec!["c", "a", "b"]);
     }
@@ -215,10 +207,20 @@ mod tests {
     #[test]
     fn out_of_range_indices_are_rejected() {
         let ctx = context();
-        let err = Perturbation::Combination(vec![0, 9]).apply(&ctx).unwrap_err();
-        assert!(matches!(err, RageError::InvalidSourceIndex { index: 9, .. }));
-        let err = Perturbation::Permutation(vec![0, 1, 9]).apply(&ctx).unwrap_err();
-        assert!(matches!(err, RageError::InvalidSourceIndex { index: 9, .. }));
+        let err = Perturbation::Combination(vec![0, 9])
+            .apply(&ctx)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RageError::InvalidSourceIndex { index: 9, .. }
+        ));
+        let err = Perturbation::Permutation(vec![0, 1, 9])
+            .apply(&ctx)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RageError::InvalidSourceIndex { index: 9, .. }
+        ));
     }
 
     #[test]
@@ -229,7 +231,9 @@ mod tests {
         // Wrong-length permutation.
         assert!(Perturbation::Permutation(vec![0, 1]).apply(&ctx).is_err());
         // Duplicate entries.
-        assert!(Perturbation::Permutation(vec![0, 1, 1]).apply(&ctx).is_err());
+        assert!(Perturbation::Permutation(vec![0, 1, 1])
+            .apply(&ctx)
+            .is_err());
     }
 
     #[test]

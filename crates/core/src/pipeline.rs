@@ -115,7 +115,11 @@ impl RagPipeline {
     }
 
     /// Convenience: retrieve, answer and build the evaluator in one step.
-    pub fn ask_and_explain(&self, query: &str, k: usize) -> Result<(RagResponse, Evaluator), RageError> {
+    pub fn ask_and_explain(
+        &self,
+        query: &str,
+        k: usize,
+    ) -> Result<(RagResponse, Evaluator), RageError> {
         let response = self.ask(query, k)?;
         let evaluator = self.evaluator(response.context.clone());
         Ok((response, evaluator))
@@ -163,17 +167,15 @@ mod tests {
     fn irrelevant_documents_are_not_retrieved() {
         let p = pipeline();
         let response = p.ask("Who holds the most grand slam titles?", 3).unwrap();
-        assert!(response
-            .context
-            .sources
-            .iter()
-            .all(|s| s.doc_id != "pasta"));
+        assert!(response.context.sources.iter().all(|s| s.doc_id != "pasta"));
     }
 
     #[test]
     fn unmatched_query_is_an_empty_context_error() {
         let p = pipeline();
-        let err = p.ask("completely unrelated quantum chromodynamics", 3).unwrap_err();
+        let err = p
+            .ask("completely unrelated quantum chromodynamics", 3)
+            .unwrap_err();
         assert!(matches!(err, RageError::EmptyContext { .. }));
     }
 
@@ -204,10 +206,7 @@ mod tests {
         let (response, evaluator) = p
             .ask_and_explain("Who holds the most grand slam titles?", 2)
             .unwrap();
-        assert_eq!(
-            evaluator.full_context_answer().unwrap(),
-            response.answer()
-        );
+        assert_eq!(evaluator.full_context_answer().unwrap(), response.answer());
         assert_eq!(evaluator.k(), response.k());
     }
 }

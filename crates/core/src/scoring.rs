@@ -48,7 +48,10 @@ impl ScoringMethod {
 
     /// The estimated relevance of a combination: the sum of its member sources' scores.
     pub fn combination_score(scores: &[f64], combination: &[usize]) -> f64 {
-        combination.iter().map(|&i| scores.get(i).copied().unwrap_or(0.0)).sum()
+        combination
+            .iter()
+            .map(|&i| scores.get(i).copied().unwrap_or(0.0))
+            .sum()
     }
 
     /// Short name used in reports and benchmark labels.

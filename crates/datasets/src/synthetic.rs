@@ -40,10 +40,35 @@ const ENTITY_NAMES: &[&str] = &[
 
 /// Filler vocabulary for padding documents to a target length.
 const FILLER_WORDS: &[&str] = &[
-    "season", "tournament", "statistics", "analysts", "observers", "performance", "record",
-    "career", "surface", "ranking", "points", "margin", "period", "historical", "debate",
-    "metric", "measure", "figure", "report", "summary", "coverage", "commentary", "archive",
-    "database", "chronicle", "review", "analysis", "comparison", "study",
+    "season",
+    "tournament",
+    "statistics",
+    "analysts",
+    "observers",
+    "performance",
+    "record",
+    "career",
+    "surface",
+    "ranking",
+    "points",
+    "margin",
+    "period",
+    "historical",
+    "debate",
+    "metric",
+    "measure",
+    "figure",
+    "report",
+    "summary",
+    "coverage",
+    "commentary",
+    "archive",
+    "database",
+    "chronicle",
+    "review",
+    "analysis",
+    "comparison",
+    "study",
 ];
 
 /// Configuration of the synthetic ranking scenario.
@@ -96,9 +121,13 @@ pub fn ranking_scenario(config: RankingConfig) -> Scenario {
             filler.join(" ")
         );
         corpus.push(
-            Document::new(format!("synthetic-{i}"), format!("Ranking by {metric}"), text)
-                .with_field("endorses", entity)
-                .with_field("position_hint", i.to_string()),
+            Document::new(
+                format!("synthetic-{i}"),
+                format!("Ranking by {metric}"),
+                text,
+            )
+            .with_field("endorses", entity)
+            .with_field("position_hint", i.to_string()),
         );
     }
 

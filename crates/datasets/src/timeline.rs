@@ -83,10 +83,11 @@ pub fn scenario() -> Scenario {
         prior: prior(),
         expected_full_context_answer: "5".to_string(),
         expected_empty_context_answer: "4".to_string(),
-        description: "Use case #3 (Timelines): one document per season 2010-2019; the correct count \
+        description:
+            "Use case #3 (Timelines): one document per season 2010-2019; the correct count \
                       of Djokovic's awards is 5 and the counterfactual citation names exactly the \
                       five supporting seasons."
-            .to_string(),
+                .to_string(),
     }
 }
 

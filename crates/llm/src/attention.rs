@@ -140,7 +140,10 @@ mod tests {
         let (record, prompt) = setup(
             "who holds the most grand slam titles in tennis history",
             vec![
-                SourceText::new("match", "djokovic holds the most grand slam titles in tennis"),
+                SourceText::new(
+                    "match",
+                    "djokovic holds the most grand slam titles in tennis",
+                ),
                 SourceText::new("noise", "chop the carrots and simmer the broth with thyme"),
             ],
         );

@@ -84,11 +84,11 @@ impl Embedder {
     pub fn positional_vector(&self, position: usize) -> Vec<f64> {
         let dim = self.config.dim;
         let mut v = vec![0.0; dim];
-        for i in 0..dim {
+        for (i, slot) in v.iter_mut().enumerate() {
             let exponent = (2 * (i / 2)) as f64 / dim as f64;
             let rate = 10_000f64.powf(exponent);
             let angle = position as f64 / rate;
-            v[i] = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+            *slot = if i % 2 == 0 { angle.sin() } else { angle.cos() };
         }
         v
     }
@@ -170,7 +170,10 @@ mod tests {
         let self_sim = dot(&target, &e.token_vector(100));
         for other in 101..130u32 {
             let sim = dot(&target, &e.token_vector(other));
-            assert!(self_sim > sim + 0.3, "token {other}: self {self_sim} vs {sim}");
+            assert!(
+                self_sim > sim + 0.3,
+                "token {other}: self {self_sim} vs {sim}"
+            );
         }
     }
 

@@ -43,16 +43,35 @@ pub struct Candidate {
 /// Words that never start or continue an entity span even when capitalised.
 const ENTITY_BLOCKLIST: &[&str] = &[
     "the", "a", "an", "in", "on", "at", "of", "and", "or", "but", "it", "its", "this", "that",
-    "these", "those", "he", "she", "they", "we", "his", "her", "their", "our", "is", "was",
-    "are", "were", "who", "what", "when", "which", "how", "why", "between", "among", "during",
-    "however", "although", "since", "after", "before", "for", "with", "by", "from", "to",
+    "these", "those", "he", "she", "they", "we", "his", "her", "their", "our", "is", "was", "are",
+    "were", "who", "what", "when", "which", "how", "why", "between", "among", "during", "however",
+    "although", "since", "after", "before", "for", "with", "by", "from", "to",
 ];
 
 /// Cue words that boost a nearby candidate's confidence.
 const CUE_WORDS: &[&str] = &[
-    "first", "leads", "leader", "most", "best", "greatest", "top", "champion", "champions",
-    "winner", "won", "wins", "title", "titles", "record", "named", "awarded", "crowned",
-    "ranked", "ranks", "victory", "defeated",
+    "first",
+    "leads",
+    "leader",
+    "most",
+    "best",
+    "greatest",
+    "top",
+    "champion",
+    "champions",
+    "winner",
+    "won",
+    "wins",
+    "title",
+    "titles",
+    "record",
+    "named",
+    "awarded",
+    "crowned",
+    "ranked",
+    "ranks",
+    "victory",
+    "defeated",
 ];
 
 /// Number of tokens on either side of an entity span scanned for cue words.
@@ -62,7 +81,9 @@ const CUE_WINDOW: usize = 5;
 pub fn classify_question(question: &str) -> QuestionKind {
     let lower = question.to_lowercase();
     let tokenizer = SimTokenizer::new();
-    if lower.contains("how many") || lower.contains("how often") || lower.contains("number of times")
+    if lower.contains("how many")
+        || lower.contains("how often")
+        || lower.contains("number of times")
     {
         let entity = extract_entities(question)
             .into_iter()
@@ -117,7 +138,7 @@ pub fn extract_entities(text: &str) -> Vec<(String, usize, usize)> {
 
     let is_entity_word = |w: &str| -> bool {
         let mut chars = w.chars();
-        let first_upper = chars.next().map_or(false, |c| c.is_uppercase());
+        let first_upper = chars.next().is_some_and(|c| c.is_uppercase());
         first_upper
             && w.chars().any(|c| c.is_alphabetic())
             && !ENTITY_BLOCKLIST.contains(&w.to_lowercase().as_str())
@@ -157,7 +178,11 @@ pub fn extract_years(words: &[String]) -> Vec<i32> {
 /// Candidates whose surface form already occurs in the question are dropped (they name
 /// the thing being asked about, not the answer), except for [`QuestionKind::Count`],
 /// whose target entity is expected to appear in both.
-pub fn extract_candidates(kind: &QuestionKind, question: &str, source_text: &str) -> Vec<Candidate> {
+pub fn extract_candidates(
+    kind: &QuestionKind,
+    question: &str,
+    source_text: &str,
+) -> Vec<Candidate> {
     let tokenizer = SimTokenizer::new();
     let question_lower = question.to_lowercase();
     let source_words_cased: Vec<String> = {
@@ -187,10 +212,8 @@ pub fn extract_candidates(kind: &QuestionKind, question: &str, source_text: &str
         // counting questions (the counted entity must appear in both) and superlative
         // questions, which often enumerate the candidate answers explicitly ("the best
         // among Djokovic, Federer and Nadal").
-        let keep_even_if_in_question = matches!(
-            kind,
-            QuestionKind::Count { .. } | QuestionKind::Superlative
-        );
+        let keep_even_if_in_question =
+            matches!(kind, QuestionKind::Count { .. } | QuestionKind::Superlative);
         if !keep_even_if_in_question && question_lower.contains(&entity_lower) {
             continue;
         }
@@ -233,12 +256,10 @@ fn closest_year(words: &[String], start: usize, end: usize, years: &[i32]) -> Op
                 // how such statements are usually phrased.
                 let distance = if idx < start {
                     start - idx + 1
-                } else if idx >= end {
-                    idx - end
                 } else {
-                    0
+                    idx.saturating_sub(end)
                 };
-                if best.map_or(true, |(d, _)| distance < d) {
+                if best.is_none_or(|(d, _)| distance < d) {
                     best = Some((distance, y));
                 }
             }
@@ -328,10 +349,12 @@ mod tests {
 
     #[test]
     fn extracts_years_in_range() {
-        let words: Vec<String> = ["in", "2023", "she", "beat", "the", "1999", "record", "12345"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let words: Vec<String> = [
+            "in", "2023", "she", "beat", "the", "1999", "record", "12345",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
         assert_eq!(extract_years(&words), vec![2023, 1999]);
     }
 
@@ -374,7 +397,8 @@ mod tests {
 
     #[test]
     fn count_questions_keep_the_target_entity() {
-        let kind = classify_question("How many times did Novak Djokovic win between 2010 and 2019?");
+        let kind =
+            classify_question("How many times did Novak Djokovic win between 2010 and 2019?");
         let candidates = extract_candidates(
             &kind,
             "How many times did Novak Djokovic win between 2010 and 2019?",
@@ -391,8 +415,14 @@ mod tests {
             "who won?",
             "Iga Swiatek won in 2022 while Coco Gauff triumphed in 2023.",
         );
-        let swiatek = candidates.iter().find(|c| c.answer == "Iga Swiatek").unwrap();
-        let gauff = candidates.iter().find(|c| c.answer == "Coco Gauff").unwrap();
+        let swiatek = candidates
+            .iter()
+            .find(|c| c.answer == "Iga Swiatek")
+            .unwrap();
+        let gauff = candidates
+            .iter()
+            .find(|c| c.answer == "Coco Gauff")
+            .unwrap();
         assert_eq!(swiatek.year, Some(2022));
         assert_eq!(gauff.year, Some(2023));
     }

@@ -94,7 +94,7 @@ impl PriorKnowledge {
                 continue;
             }
             let score = fact.weight * coverage;
-            if best.as_ref().map_or(true, |b| score > b.score) {
+            if best.as_ref().is_none_or(|b| score > b.score) {
                 best = Some(PriorMatch {
                     answer: fact.answer.clone(),
                     score,
@@ -127,7 +127,9 @@ mod tests {
     #[test]
     fn recalls_matching_fact() {
         let p = prior();
-        let m = p.recall("Who is the best tennis player of all time?").unwrap();
+        let m = p
+            .recall("Who is the best tennis player of all time?")
+            .unwrap();
         assert_eq!(m.answer, "Novak Djokovic");
         assert!((m.score - 0.3).abs() < 1e-9);
     }
@@ -162,14 +164,20 @@ mod tests {
 
     #[test]
     fn empty_prior_recalls_nothing() {
-        assert!(PriorKnowledge::empty().recall("any question at all").is_none());
+        assert!(PriorKnowledge::empty()
+            .recall("any question at all")
+            .is_none());
         assert!(PriorKnowledge::empty().is_empty());
         assert_eq!(prior().len(), 3);
     }
 
     #[test]
     fn keywords_are_case_insensitive() {
-        let p = PriorKnowledge::empty().with_fact(PriorFact::new(&["FRANCE", "Capital"], "Paris", 1.0));
-        assert_eq!(p.recall("What is the CAPITAL of France?").unwrap().answer, "Paris");
+        let p =
+            PriorKnowledge::empty().with_fact(PriorFact::new(&["FRANCE", "Capital"], "Paris", 1.0));
+        assert_eq!(
+            p.recall("What is the CAPITAL of France?").unwrap().answer,
+            "Paris"
+        );
     }
 }

@@ -123,7 +123,11 @@ impl SimLlm {
 
         let mut effective: Vec<f64> = (0..k)
             .map(|i| {
-                let x = if k <= 1 { 0.0 } else { i as f64 / (k - 1) as f64 };
+                let x = if k <= 1 {
+                    0.0
+                } else {
+                    i as f64 / (k - 1) as f64
+                };
                 let tilt = 1.0 - self.config.primacy_tilt.clamp(0.0, 0.99) * x;
                 content[i] * self.config.position_bias.weight(i, k) * tilt
             })
@@ -174,7 +178,7 @@ impl SimLlm {
                 }
                 match candidate.year {
                     Some(year) => {
-                        let in_range = year_range.map_or(true, |(lo, hi)| year >= lo && year <= hi);
+                        let in_range = year_range.is_none_or(|(lo, hi)| year >= lo && year <= hi);
                         if in_range && !years.contains(&year) {
                             years.push(year);
                         }
@@ -234,9 +238,7 @@ impl SimLlm {
             for candidate in extract_candidates(kind, &input.question, &source.text) {
                 let key = candidate.answer.to_lowercase();
                 let contribution = effective[i] * candidate.confidence;
-                let entry = scores
-                    .entry(key)
-                    .or_insert((0.0, candidate.answer.clone()));
+                let entry = scores.entry(key).or_insert((0.0, candidate.answer.clone()));
                 match self.config.aggregation {
                     EvidenceAggregation::Max => {
                         if contribution > entry.0 {
@@ -264,7 +266,7 @@ impl SimLlm {
         // ties resolve to the lexicographically smallest answer, deterministically.
         let mut best: Option<(f64, String)> = None;
         for (_, (score, surface)) in scores {
-            if best.as_ref().map_or(true, |(bs, _)| score > *bs) {
+            if best.as_ref().is_none_or(|(bs, _)| score > *bs) {
                 best = Some((score, surface));
             }
         }
@@ -418,11 +420,26 @@ mod tests {
 
     fn us_open_sources() -> Vec<SourceText> {
         vec![
-            SourceText::new("y2019", "Bianca Andreescu won the US Open women's singles championship in 2019."),
-            SourceText::new("y2020", "Naomi Osaka won the US Open women's singles championship in 2020."),
-            SourceText::new("y2021", "Emma Raducanu won the US Open women's singles championship in 2021."),
-            SourceText::new("y2022", "Iga Swiatek won the US Open women's singles championship in 2022."),
-            SourceText::new("y2023", "Coco Gauff won the US Open women's singles championship in 2023."),
+            SourceText::new(
+                "y2019",
+                "Bianca Andreescu won the US Open women's singles championship in 2019.",
+            ),
+            SourceText::new(
+                "y2020",
+                "Naomi Osaka won the US Open women's singles championship in 2020.",
+            ),
+            SourceText::new(
+                "y2021",
+                "Emma Raducanu won the US Open women's singles championship in 2021.",
+            ),
+            SourceText::new(
+                "y2022",
+                "Iga Swiatek won the US Open women's singles championship in 2022.",
+            ),
+            SourceText::new(
+                "y2023",
+                "Coco Gauff won the US Open women's singles championship in 2023.",
+            ),
         ]
     }
 

@@ -239,7 +239,8 @@ mod tests {
             "federer wins",
             vec![SourceText::new("d", "federer wins again")],
         ));
-        let question_ids: Vec<u32> = prompt.tokens[prompt.question_span.0 + 1..prompt.question_span.1]
+        let question_ids: Vec<u32> = prompt.tokens
+            [prompt.question_span.0 + 1..prompt.question_span.1]
             .iter()
             .map(|t| t.id)
             .collect();

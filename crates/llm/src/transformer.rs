@@ -233,10 +233,7 @@ impl Transformer {
             });
         }
 
-        AttentionRecord {
-            layers,
-            seq_len: n,
-        }
+        AttentionRecord { layers, seq_len: n }
     }
 }
 
@@ -257,7 +254,10 @@ mod tests {
     fn records_expected_shapes() {
         let (record, prompt) = record_for(
             "who wins",
-            vec![SourceText::new("a", "federer wins"), SourceText::new("b", "nadal clay")],
+            vec![
+                SourceText::new("a", "federer wins"),
+                SourceText::new("b", "nadal clay"),
+            ],
         );
         let config = TransformerConfig::default();
         assert_eq!(record.layers.len(), config.layers);
@@ -311,7 +311,10 @@ mod tests {
             "who holds the most grand slam titles",
             vec![
                 SourceText::new("match", "djokovic holds the most grand slam titles overall"),
-                SourceText::new("noise", "recipe simmers garlic onions beside fresh basil leaves"),
+                SourceText::new(
+                    "noise",
+                    "recipe simmers garlic onions beside fresh basil leaves",
+                ),
             ],
         );
         let prompt = tok.tokenize_prompt(&input);

@@ -1,1 +1,223 @@
-//! stub
+//! # rage-report
+//!
+//! Rendering of [`RageReport`]s for humans — the textual counterpart of the
+//! demonstration UI the paper describes (§III). The current output format is
+//! markdown; structured (JSON) output and diffable multi-report comparisons
+//! are roadmap items.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use rage_core::counterfactual::SearchDirection;
+use rage_core::RageReport;
+
+/// Render a full explanation report as markdown.
+///
+/// Sections mirror the paper's demonstration panels: answer provenance,
+/// counterfactual citations, order sensitivity, optimal placements and
+/// perturbation insights, closed by the evaluation-cost footer.
+pub fn render_markdown(report: &RageReport) -> String {
+    let mut md = String::new();
+    let _ = writeln!(md, "# RAGE explanation\n");
+    let _ = writeln!(md, "**Question.** {}\n", report.question);
+    let _ = writeln!(md, "**Answer.** {}\n", report.full_context_answer);
+    let _ = writeln!(
+        md,
+        "**Answer without context.** {}\n",
+        report.empty_context_answer
+    );
+
+    let _ = writeln!(md, "## Retrieved context\n");
+    let _ = writeln!(md, "| # | source | retrieval score | relevance |");
+    let _ = writeln!(md, "|---|--------|-----------------|-----------|");
+    for (i, source) in report.context.sources.iter().enumerate() {
+        let relevance = report.source_scores.get(i).copied().unwrap_or(0.0);
+        let _ = writeln!(
+            md,
+            "| {} | {} | {:.3} | {:.3} |",
+            i + 1,
+            source.doc_id,
+            source.retrieval_score,
+            relevance
+        );
+    }
+    md.push('\n');
+
+    let _ = writeln!(md, "## Counterfactual citations\n");
+    match &report.top_down.counterfactual {
+        Some(cf) => {
+            let _ = writeln!(
+                md,
+                "Removing {{{}}} changes the answer to **{}** \
+                 (found after {} evaluations).",
+                report.citations().join(", "),
+                cf.answer,
+                report.top_down.stats.candidates
+            );
+        }
+        None => {
+            let _ = writeln!(
+                md,
+                "No removal within budget changes the answer ({} evaluations).",
+                report.top_down.stats.candidates
+            );
+        }
+    }
+    match &report.bottom_up.counterfactual {
+        Some(cf) => {
+            let ids = report
+                .context
+                .doc_ids(cf.cited_positions(SearchDirection::BottomUp));
+            let _ = writeln!(
+                md,
+                "Retaining only {{{}}} already changes the no-context answer to **{}**.",
+                ids.join(", "),
+                cf.answer
+            );
+        }
+        None => {
+            let _ = writeln!(
+                md,
+                "No retained subset within budget changes the no-context answer."
+            );
+        }
+    }
+    md.push('\n');
+
+    let _ = writeln!(md, "## Order sensitivity\n");
+    match &report.permutation.counterfactual {
+        Some(cf) => {
+            let _ = writeln!(
+                md,
+                "Re-ordering the context (Kendall tau {:.2}) flips the answer to **{}**.",
+                cf.tau, cf.answer
+            );
+        }
+        None => {
+            let _ = writeln!(
+                md,
+                "The answer is stable under the {} most similar re-orderings tested.",
+                report.permutation.stats.candidates
+            );
+        }
+    }
+    md.push('\n');
+
+    if !report.best_orders.is_empty() {
+        let _ = writeln!(md, "## Optimal placements\n");
+        let _ = writeln!(md, "| rank | order (doc ids) | objective | answer |");
+        let _ = writeln!(md, "|------|-----------------|-----------|--------|");
+        for (rank, op) in report.best_orders.iter().enumerate() {
+            let ids = report.context.doc_ids(&op.order);
+            let _ = writeln!(
+                md,
+                "| {} | {} | {:.3} | {} |",
+                rank + 1,
+                ids.join(" → "),
+                op.objective,
+                op.answer
+            );
+        }
+        if let Some(worst) = report.worst_orders.first() {
+            let ids = report.context.doc_ids(&worst.order);
+            let _ = writeln!(
+                md,
+                "\nWorst placement: {} (objective {:.3}) → {}.",
+                ids.join(" → "),
+                worst.objective,
+                worst.answer
+            );
+        }
+        md.push('\n');
+    }
+
+    let _ = writeln!(
+        md,
+        "## Insights over {} sampled orders\n",
+        report.insights.num_samples
+    );
+    let _ = writeln!(md, "| answer | share |");
+    let _ = writeln!(md, "|--------|-------|");
+    for entry in &report.insights.distribution.entries {
+        let _ = writeln!(md, "| {} | {:.0}% |", entry.answer, entry.share * 100.0);
+    }
+    if !report.insights.rules.is_empty() {
+        let _ = writeln!(md, "\nRules:");
+        for rule in &report.insights.rules {
+            let _ = writeln!(
+                md,
+                "- when `{}` is {} the answer is **{}** \
+                 (confidence {:.0}%, support {:.0}%)",
+                rule.doc_id,
+                if rule.present { "present" } else { "absent" },
+                rule.answer,
+                rule.confidence * 100.0,
+                rule.support * 100.0
+            );
+        }
+    }
+    md.push('\n');
+
+    let _ = writeln!(
+        md,
+        "---\n\n*{} distinct perturbations evaluated, {} LLM inferences.*",
+        report.evaluations, report.llm_calls
+    );
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rage_core::explanation::ReportConfig;
+    use rage_core::RagPipeline;
+    use rage_llm::model::{SimLlm, SimLlmConfig};
+    use rage_retrieval::{IndexBuilder, Searcher};
+    use std::sync::Arc;
+
+    fn us_open_report() -> RageReport {
+        let scenario = rage_datasets::us_open::scenario();
+        let searcher = Searcher::new(IndexBuilder::default().build(&scenario.corpus));
+        let llm = SimLlm::new(SimLlmConfig::default().with_prior(scenario.prior.clone()));
+        let pipeline = RagPipeline::new(searcher, Arc::new(llm));
+        let (_, evaluator) = pipeline
+            .ask_and_explain(&scenario.question, scenario.retrieval_k)
+            .unwrap();
+        RageReport::generate(&evaluator, &ReportConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn markdown_contains_every_section() {
+        let md = render_markdown(&us_open_report());
+        for heading in [
+            "# RAGE explanation",
+            "## Retrieved context",
+            "## Counterfactual citations",
+            "## Order sensitivity",
+            "## Optimal placements",
+            "## Insights over",
+        ] {
+            assert!(md.contains(heading), "missing {heading:?} in:\n{md}");
+        }
+        assert!(md.contains("**Answer.** Coco Gauff"));
+        assert!(md.contains("LLM inferences"));
+    }
+
+    #[test]
+    fn markdown_tables_have_one_row_per_source_and_answer() {
+        let report = us_open_report();
+        let md = render_markdown(&report);
+        for source in &report.context.sources {
+            assert!(
+                md.contains(&format!("| {} |", source.doc_id)),
+                "{}",
+                source.doc_id
+            );
+        }
+        for entry in &report.insights.distribution.entries {
+            assert!(md.contains(&entry.answer));
+        }
+    }
+}

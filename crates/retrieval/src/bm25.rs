@@ -89,8 +89,16 @@ mod tests {
     fn index() -> InvertedIndex {
         let mut corpus = Corpus::new();
         corpus.push(Document::new("a", "", "federer grand slam wins"));
-        corpus.push(Document::new("b", "", "djokovic grand slam grand slam titles"));
-        corpus.push(Document::new("c", "", "completely unrelated text about cooking"));
+        corpus.push(Document::new(
+            "b",
+            "",
+            "djokovic grand slam grand slam titles",
+        ));
+        corpus.push(Document::new(
+            "c",
+            "",
+            "completely unrelated text about cooking",
+        ));
         IndexBuilder::default().build(&corpus)
     }
 
@@ -160,7 +168,11 @@ mod tests {
     #[test]
     fn score_all_ignores_unknown_terms() {
         let idx = index();
-        let scores = score_all(&idx, &["nonexistentterm".to_string()], Bm25Params::default());
+        let scores = score_all(
+            &idx,
+            &["nonexistentterm".to_string()],
+            Bm25Params::default(),
+        );
         assert!(scores.iter().all(|&s| s == 0.0));
     }
 

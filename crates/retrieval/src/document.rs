@@ -12,6 +12,7 @@ use std::path::Path;
 use serde::{Deserialize, Serialize};
 
 use crate::error::RetrievalError;
+use crate::json::{write_json_string, JsonValue};
 
 /// A single knowledge source.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -126,17 +127,47 @@ impl Corpus {
     /// Each line must carry at least an `id`; the body may be under `text` or (as in
     /// Pyserini collections) `contents`.
     pub fn read_jsonl<R: Read>(reader: R) -> Result<Self, RetrievalError> {
-        #[derive(Deserialize)]
-        struct Record {
-            id: String,
-            #[serde(default)]
-            title: String,
-            #[serde(default)]
-            text: Option<String>,
-            #[serde(default)]
-            contents: Option<String>,
-            #[serde(default)]
-            fields: BTreeMap<String, String>,
+        // An optional string member: absent or null yields `None`, any other
+        // non-string type is a loud error (matching the strictness of a typed
+        // deserializer, so corpus corruption cannot load silently).
+        fn optional_string(value: &JsonValue, key: &str) -> Result<Option<String>, String> {
+            match value.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(JsonValue::String(s)) => Ok(Some(s.clone())),
+                Some(_) => Err(format!("field `{key}` must be a string")),
+            }
+        }
+
+        fn parse_record(line: &str) -> Result<Document, String> {
+            let value = JsonValue::parse(line).map_err(|e| e.to_string())?;
+            if !matches!(value, JsonValue::Object(_)) {
+                return Err("expected a JSON object".to_string());
+            }
+            let id = optional_string(&value, "id")?.ok_or("missing string field `id`")?;
+            let title = optional_string(&value, "title")?.unwrap_or_default();
+            let text = match optional_string(&value, "text")? {
+                Some(text) => text,
+                None => optional_string(&value, "contents")?.unwrap_or_default(),
+            };
+            let fields = match value.get("fields") {
+                None | Some(JsonValue::Null) => BTreeMap::new(),
+                Some(fields @ JsonValue::Object(members)) => {
+                    if members
+                        .iter()
+                        .any(|(_, v)| !matches!(v, JsonValue::String(_)))
+                    {
+                        return Err("field `fields` must map strings to strings".to_string());
+                    }
+                    fields.string_map()
+                }
+                Some(_) => return Err("field `fields` must be an object".to_string()),
+            };
+            Ok(Document {
+                id,
+                title,
+                text,
+                fields,
+            })
         }
 
         let buf = BufReader::new(reader);
@@ -146,18 +177,11 @@ impl Corpus {
             if line.trim().is_empty() {
                 continue;
             }
-            let record: Record =
-                serde_json::from_str(&line).map_err(|e| RetrievalError::CorpusParse {
-                    line: lineno + 1,
-                    message: e.to_string(),
-                })?;
-            let text = record.text.or(record.contents).unwrap_or_default();
-            corpus.try_push(Document {
-                id: record.id,
-                title: record.title,
-                text,
-                fields: record.fields,
+            let document = parse_record(&line).map_err(|message| RetrievalError::CorpusParse {
+                line: lineno + 1,
+                message,
             })?;
+            corpus.try_push(document)?;
         }
         Ok(corpus)
     }
@@ -165,10 +189,26 @@ impl Corpus {
     /// Write the corpus as JSONL.
     pub fn write_jsonl<W: Write>(&self, mut writer: W) -> Result<(), RetrievalError> {
         for doc in &self.documents {
-            let line = serde_json::to_string(doc).map_err(|e| RetrievalError::CorpusParse {
-                line: 0,
-                message: e.to_string(),
-            })?;
+            let mut line = String::new();
+            line.push_str("{\"id\":");
+            write_json_string(&mut line, &doc.id);
+            line.push_str(",\"title\":");
+            write_json_string(&mut line, &doc.title);
+            line.push_str(",\"text\":");
+            write_json_string(&mut line, &doc.text);
+            if !doc.fields.is_empty() {
+                line.push_str(",\"fields\":{");
+                for (i, (key, value)) in doc.fields.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    write_json_string(&mut line, key);
+                    line.push(':');
+                    write_json_string(&mut line, value);
+                }
+                line.push('}');
+            }
+            line.push('}');
             writeln!(writer, "{line}")?;
         }
         Ok(())
@@ -216,7 +256,11 @@ mod tests {
             Document::new("d1", "Match wins", "Federer has 369 match wins")
                 .with_field("metric", "match_wins"),
         );
-        c.push(Document::new("d2", "Grand slams", "Djokovic has 24 grand slams"));
+        c.push(Document::new(
+            "d2",
+            "Grand slams",
+            "Djokovic has 24 grand slams",
+        ));
         c
     }
 
@@ -237,10 +281,7 @@ mod tests {
 
     #[test]
     fn from_documents_checks_duplicates() {
-        let docs = vec![
-            Document::new("a", "", "x"),
-            Document::new("a", "", "y"),
-        ];
+        let docs = vec![Document::new("a", "", "x"), Document::new("a", "", "y")];
         assert!(Corpus::from_documents(docs).is_err());
     }
 
@@ -262,10 +303,40 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_null_text_falls_back_to_contents() {
+        let jsonl = r#"{"id": "p1", "text": null, "contents": "US Open 2023 champion Coco Gauff"}"#;
+        let c = Corpus::read_jsonl(jsonl.as_bytes()).unwrap();
+        assert_eq!(
+            c.get("p1").unwrap().text,
+            "US Open 2023 champion Coco Gauff"
+        );
+    }
+
+    #[test]
+    fn jsonl_rejects_wrongly_typed_members() {
+        for bad in [
+            r#"{"id": 3, "text": "x"}"#,
+            r#"{"id": "d", "title": 3}"#,
+            r#"{"id": "d", "text": ["x"]}"#,
+            r#"{"id": "d", "fields": {"year": 2023}}"#,
+            r#"{"id": "d", "fields": "not a map"}"#,
+        ] {
+            let err = Corpus::read_jsonl(bad.as_bytes()).unwrap_err();
+            assert!(
+                matches!(err, RetrievalError::CorpusParse { line: 1, .. }),
+                "input {bad:?} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
     fn jsonl_accepts_pyserini_contents_field() {
         let jsonl = r#"{"id": "p1", "contents": "US Open 2023 champion Coco Gauff"}"#;
         let c = Corpus::read_jsonl(jsonl.as_bytes()).unwrap();
-        assert_eq!(c.get("p1").unwrap().text, "US Open 2023 champion Coco Gauff");
+        assert_eq!(
+            c.get("p1").unwrap().text,
+            "US Open 2023 champion Coco Gauff"
+        );
     }
 
     #[test]

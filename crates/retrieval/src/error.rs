@@ -87,7 +87,9 @@ mod tests {
 
     #[test]
     fn empty_query_and_unknown_document_display() {
-        assert!(RetrievalError::EmptyQuery.to_string().contains("no indexable"));
+        assert!(RetrievalError::EmptyQuery
+            .to_string()
+            .contains("no indexable"));
         assert!(RetrievalError::UnknownDocument("x".into())
             .to_string()
             .contains("unknown document"));

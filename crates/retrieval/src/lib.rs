@@ -42,6 +42,7 @@ pub mod bm25;
 pub mod document;
 pub mod error;
 pub mod index;
+pub mod json;
 pub mod searcher;
 pub mod tokenize;
 

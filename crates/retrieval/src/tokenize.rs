@@ -11,9 +11,9 @@ use serde::{Deserialize, Serialize};
 ///
 /// The list matches Lucene's `EnglishAnalyzer::ENGLISH_STOP_WORDS_SET`.
 pub const ENGLISH_STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is",
-    "it", "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there",
-    "these", "they", "this", "to", "was", "will", "with",
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in", "into", "is", "it",
+    "no", "not", "of", "on", "or", "such", "that", "the", "their", "then", "there", "these",
+    "they", "this", "to", "was", "will", "with",
 ];
 
 /// Configuration of the analysis chain.

@@ -1,0 +1,13 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros and declares empty marker traits so that
+//! `use serde::{Deserialize, Serialize}` resolves in both the type and macro
+//! namespaces, exactly like the real crate. See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never used as a bound here).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (never used as a bound here).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! No-op stand-ins for the serde derive macros.
+//!
+//! The workspace annotates many types with `#[derive(Serialize, Deserialize)]`
+//! and `#[serde(...)]` attributes. Nothing in the workspace serialises through
+//! serde's data model (JSONL persistence is hand-rolled in
+//! `rage_retrieval::json`), so these derives expand to nothing; registering
+//! `serde` as a helper attribute keeps the field annotations compiling.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
