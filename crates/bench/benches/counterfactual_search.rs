@@ -1,21 +1,24 @@
-//! E7: counterfactual search cost under the pruned enumeration.
+//! E7: counterfactual search cost under the pruned enumeration, with the
+//! batched parallel evaluator against the sequential baseline.
 //!
 //! Each iteration runs on a fresh evaluator so the LLM-call cache does not
 //! flatter the numbers.
 
-use rage_bench::workloads::{evaluator_for, synthetic};
-use rage_bench::{bench, black_box, scaled, section};
+use rage_bench::workloads::{evaluator_for, parallel_evaluator_for, synthetic};
+use rage_bench::{black_box, scaled, section, Runner};
 use rage_core::counterfactual::{find_combination_counterfactual, CounterfactualConfig};
 use rage_core::scoring::ScoringMethod;
 
 fn main() {
+    let mut runner = Runner::from_args();
+
     section("counterfactual: top-down combination search");
     for k in [4usize, 6, 8] {
         let scenario = synthetic(k);
         let config = CounterfactualConfig::top_down()
             .with_scoring(ScoringMethod::RetrievalScore)
             .with_budget(512);
-        bench(&format!("top-down/k={k}"), scaled(20), || {
+        runner.bench(&format!("top-down/k={k}"), scaled(20), || {
             let evaluator = evaluator_for(&scenario);
             black_box(find_combination_counterfactual(&evaluator, &config).unwrap());
         });
@@ -27,9 +30,28 @@ fn main() {
         let config = CounterfactualConfig::bottom_up()
             .with_scoring(ScoringMethod::RetrievalScore)
             .with_budget(512);
-        bench(&format!("bottom-up/k={k}"), scaled(20), || {
+        runner.bench(&format!("bottom-up/k={k}"), scaled(20), || {
             let evaluator = evaluator_for(&scenario);
             black_box(find_combination_counterfactual(&evaluator, &config).unwrap());
         });
     }
+
+    section("counterfactual: top-down, sequential vs parallel worker pool");
+    for k in [6usize, 8] {
+        let scenario = synthetic(k);
+        let config = CounterfactualConfig::top_down()
+            .with_scoring(ScoringMethod::RetrievalScore)
+            .with_budget(512);
+        let seq = runner.bench(&format!("top-down/k={k}/seq"), scaled(10), || {
+            let evaluator = evaluator_for(&scenario);
+            black_box(find_combination_counterfactual(&evaluator, &config).unwrap());
+        });
+        let par = runner.bench(&format!("top-down/k={k}/par4"), scaled(10), || {
+            let evaluator = parallel_evaluator_for(&scenario, 4);
+            black_box(find_combination_counterfactual(&evaluator, &config).unwrap());
+        });
+        runner.ratio(&format!("top-down/k={k}/speedup@4"), &seq, &par);
+    }
+
+    runner.finish();
 }

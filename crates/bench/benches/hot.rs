@@ -1,0 +1,71 @@
+//! The CI regression-tracking bench: the two hot paths only, fast enough to
+//! run on every pull request.
+//!
+//! Intended invocation (see `.github/workflows/ci.yml`):
+//!
+//! ```text
+//! RAGE_BENCH_FAST=1 cargo bench --bench hot -- --json BENCH_pr.json
+//! cargo run -p rage-bench --bin bench_diff -- \
+//!     crates/bench/baselines/BENCH_baseline.json BENCH_pr.json \
+//!     --threshold 0.20 --require "ask/k=10" --require "top-down/k=8"
+//! ```
+//!
+//! The sequential-vs-parallel report cases also run here so the 4-thread
+//! speedup ratio lands in `BENCH_pr.json` as a tracked artifact.
+
+use rage_bench::workloads::{
+    bench_report_config, evaluator_for, parallel_evaluator_for, pipeline_for, synthetic,
+};
+use rage_bench::{black_box, scaled, section, Runner};
+use rage_core::counterfactual::{find_combination_counterfactual, CounterfactualConfig};
+use rage_core::scoring::ScoringMethod;
+use rage_core::RageReport;
+
+fn main() {
+    let mut runner = Runner::from_args();
+
+    section("hot: pipeline ask");
+    {
+        let scenario = synthetic(10);
+        let pipeline = pipeline_for(&scenario);
+        // Gated in CI: keep the fast-mode sample count high enough (10+) that
+        // one scheduler hiccup cannot shift the mean past the 20% fence.
+        runner.bench("ask/k=10", scaled(100), || {
+            black_box(
+                pipeline
+                    .ask(&scenario.question, scenario.retrieval_k)
+                    .unwrap(),
+            );
+        });
+    }
+
+    section("hot: top-down counterfactual search");
+    {
+        let scenario = synthetic(8);
+        let config = CounterfactualConfig::top_down()
+            .with_scoring(ScoringMethod::RetrievalScore)
+            .with_budget(512);
+        // Gated in CI: see the sample-count note above.
+        runner.bench("top-down/k=8", scaled(50), || {
+            let evaluator = evaluator_for(&scenario);
+            black_box(find_combination_counterfactual(&evaluator, &config).unwrap());
+        });
+    }
+
+    section("hot: report, sequential vs 4-thread pool");
+    {
+        let scenario = synthetic(8);
+        let config = bench_report_config();
+        let seq = runner.bench("report/k=8/seq", scaled(10), || {
+            let evaluator = evaluator_for(&scenario);
+            black_box(RageReport::generate(&evaluator, &config).unwrap());
+        });
+        let par = runner.bench("report/k=8/par4", scaled(10), || {
+            let evaluator = parallel_evaluator_for(&scenario, 4);
+            black_box(RageReport::generate(&evaluator, &config).unwrap());
+        });
+        runner.ratio("report/k=8/speedup@4", &seq, &par);
+    }
+
+    runner.finish();
+}

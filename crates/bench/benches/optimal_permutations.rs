@@ -1,11 +1,12 @@
 //! E6: ranked `O(s·k³)` placement enumeration vs the naive `O(k!)` baseline.
 
 use rage_bench::workloads::{evaluator_for, synthetic};
-use rage_bench::{bench, black_box, scaled, section};
+use rage_bench::{black_box, scaled, section, Runner};
 use rage_core::optimal::{naive_orders, ranked_orders, OptimalConfig, OrderObjective};
 use rage_core::scoring::ScoringMethod;
 
 fn main() {
+    let mut runner = Runner::from_args();
     let config = OptimalConfig::default()
         .with_scoring(ScoringMethod::RetrievalScore)
         .with_num_orders(5);
@@ -14,7 +15,7 @@ fn main() {
     for k in [4usize, 6, 8] {
         let scenario = synthetic(k);
         let evaluator = evaluator_for(&scenario);
-        bench(&format!("ranked/k={k}"), scaled(50), || {
+        runner.bench(&format!("ranked/k={k}"), scaled(50), || {
             black_box(ranked_orders(&evaluator, &config, OrderObjective::Best).unwrap());
         });
     }
@@ -23,8 +24,10 @@ fn main() {
     for k in [4usize, 6, 8] {
         let scenario = synthetic(k);
         let evaluator = evaluator_for(&scenario);
-        bench(&format!("naive/k={k}"), scaled(10), || {
+        runner.bench(&format!("naive/k={k}"), scaled(10), || {
             black_box(naive_orders(&evaluator, &config, OrderObjective::Best).unwrap());
         });
     }
+
+    runner.finish();
 }

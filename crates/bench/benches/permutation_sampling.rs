@@ -2,17 +2,18 @@
 //! enumerate-then-sample baseline.
 
 use rage_assignment::permutations::{naive_sample_permutations, sample_permutations};
-use rage_bench::{bench, black_box, scaled, section};
+use rage_bench::{black_box, scaled, section, Runner};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    let mut runner = Runner::from_args();
     let s = 64usize;
 
     section("permutation sampling: Fisher-Yates O(k*s)");
     for k in [5usize, 8, 10] {
         let mut rng = StdRng::seed_from_u64(17);
-        bench(&format!("fisher-yates/k={k}/s={s}"), scaled(200), || {
+        runner.bench(&format!("fisher-yates/k={k}/s={s}"), scaled(200), || {
             black_box(sample_permutations(k, s, &mut rng));
         });
     }
@@ -20,8 +21,10 @@ fn main() {
     section("permutation sampling: naive O(k!)");
     for k in [5usize, 8] {
         let mut rng = StdRng::seed_from_u64(17);
-        bench(&format!("naive/k={k}/s={s}"), scaled(10), || {
+        runner.bench(&format!("naive/k={k}/s={s}"), scaled(10), || {
             black_box(naive_sample_permutations(k, s, &mut rng));
         });
     }
+
+    runner.finish();
 }

@@ -1,14 +1,27 @@
-//! End-to-end RAG round trip (retrieve + prompt + generate).
+//! End-to-end RAG round trip and full-report cost, sequential vs parallel.
+//!
+//! The `report/k=*/par4` vs `report/k=*/seq` ratio is the headline number for
+//! the batched evaluation subsystem: on a ≥4-core machine the 4-thread worker
+//! pool targets a ≥3× speedup over the sequential baseline (1-core CI runners
+//! will show ~1× — the ratio is recorded in the `--json` output either way).
+//! The parallel side is the *whole* subsystem — worker pool **plus** prefix
+//! cache — measured against today's uncached sequential baseline; it is a
+//! subsystem speedup, not a pure thread-scaling number.
 
-use rage_bench::workloads::{pipeline_for, synthetic};
-use rage_bench::{bench, black_box, scaled, section};
+use rage_bench::workloads::{
+    bench_report_config, evaluator_for, parallel_evaluator_for, pipeline_for, synthetic,
+};
+use rage_bench::{black_box, scaled, section, Runner};
+use rage_core::RageReport;
 
 fn main() {
+    let mut runner = Runner::from_args();
+
     section("pipeline: ask");
     for k in [3usize, 6, 10] {
         let scenario = synthetic(k);
         let pipeline = pipeline_for(&scenario);
-        bench(&format!("ask/k={k}"), scaled(50), || {
+        runner.bench(&format!("ask/k={k}"), scaled(50), || {
             black_box(
                 pipeline
                     .ask(&scenario.question, scenario.retrieval_k)
@@ -16,4 +29,35 @@ fn main() {
             );
         });
     }
+
+    section("pipeline: batched ask (ask_many over 8 queries)");
+    for k in [3usize, 6] {
+        let scenario = synthetic(k);
+        let pipeline = pipeline_for(&scenario);
+        let queries: Vec<&str> = (0..8).map(|_| scenario.question.as_str()).collect();
+        runner.bench(&format!("ask_many/k={k}/q=8"), scaled(10), || {
+            for response in pipeline.ask_many(&queries, scenario.retrieval_k) {
+                black_box(response.unwrap());
+            }
+        });
+    }
+
+    section("pipeline: full report, sequential vs parallel worker pool");
+    let config = bench_report_config();
+    for k in [6usize, 10] {
+        let scenario = synthetic(k);
+        let seq = runner.bench(&format!("report/k={k}/seq"), scaled(10), || {
+            let evaluator = evaluator_for(&scenario);
+            black_box(RageReport::generate(&evaluator, &config).unwrap());
+        });
+        for threads in [2usize, 4] {
+            let par = runner.bench(&format!("report/k={k}/par{threads}"), scaled(10), || {
+                let evaluator = parallel_evaluator_for(&scenario, threads);
+                black_box(RageReport::generate(&evaluator, &config).unwrap());
+            });
+            runner.ratio(&format!("report/k={k}/speedup@{threads}"), &seq, &par);
+        }
+    }
+
+    runner.finish();
 }

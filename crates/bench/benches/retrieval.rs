@@ -1,10 +1,12 @@
 //! E9: index construction and query latency at growing corpus sizes.
 
-use rage_bench::{bench, black_box, scaled, section};
+use rage_bench::{black_box, scaled, section, Runner};
 use rage_datasets::synthetic::{filler_corpus, filler_queries, FillerConfig};
 use rage_retrieval::{IndexBuilder, Searcher};
 
 fn main() {
+    let mut runner = Runner::from_args();
+
     section("retrieval: index build");
     for num_docs in [100usize, 1_000, 5_000] {
         let config = FillerConfig {
@@ -12,7 +14,7 @@ fn main() {
             ..FillerConfig::default()
         };
         let corpus = filler_corpus(config);
-        bench(&format!("build/docs={num_docs}"), scaled(10), || {
+        runner.bench(&format!("build/docs={num_docs}"), scaled(10), || {
             black_box(IndexBuilder::default().build(&corpus));
         });
     }
@@ -27,10 +29,12 @@ fn main() {
         let searcher = Searcher::new(IndexBuilder::default().build(&corpus));
         let queries = filler_queries(config, 32);
         let mut next = 0usize;
-        bench(&format!("query/docs={num_docs}"), scaled(200), || {
+        runner.bench(&format!("query/docs={num_docs}"), scaled(200), || {
             let query = &queries[next % queries.len()];
             next += 1;
             black_box(searcher.search(query, 5));
         });
     }
+
+    runner.finish();
 }

@@ -1,12 +1,15 @@
-//! Full explanation reports over the three paper use cases (§III).
+//! Full explanation reports over the three paper use cases (§III), sequential
+//! and through the 4-thread parallel evaluator.
 
-use rage_bench::workloads::evaluator_for;
-use rage_bench::{bench, black_box, scaled, section};
+use rage_bench::workloads::{evaluator_for, parallel_evaluator_for};
+use rage_bench::{black_box, scaled, section, Runner};
 use rage_core::explanation::ReportConfig;
 use rage_core::RageReport;
 use rage_datasets::{big_three, timeline, us_open};
 
 fn main() {
+    let mut runner = Runner::from_args();
+
     section("use cases: full RageReport");
     for scenario in [
         big_three::scenario(),
@@ -14,9 +17,20 @@ fn main() {
         timeline::scenario(),
     ] {
         let config = ReportConfig::default();
-        bench(&format!("report/{}", scenario.name), scaled(10), || {
+        let seq = runner.bench(&format!("report/{}", scenario.name), scaled(10), || {
             let evaluator = evaluator_for(&scenario);
             black_box(RageReport::generate(&evaluator, &config).unwrap());
         });
+        let par = runner.bench(
+            &format!("report/{}/par4", scenario.name),
+            scaled(10),
+            || {
+                let evaluator = parallel_evaluator_for(&scenario, 4);
+                black_box(RageReport::generate(&evaluator, &config).unwrap());
+            },
+        );
+        runner.ratio(&format!("report/{}/speedup@4", scenario.name), &seq, &par);
     }
+
+    runner.finish();
 }

@@ -1,0 +1,146 @@
+//! Compare two `rage-bench/v1` JSON files and fail on regressions.
+//!
+//! ```text
+//! bench_diff <baseline.json> <current.json> [--threshold 0.20]
+//!            [--require <bench-name>]...
+//! ```
+//!
+//! For every bench name present in both files the mean latency is compared;
+//! the process exits non-zero when any `--require`d bench regressed by more
+//! than the threshold (default 20%), or when a required bench is missing from
+//! either file. Benches not listed with `--require` are reported but never
+//! fail the run — wall-clock numbers from unrelated runner classes drift, and
+//! only the explicitly tracked hot paths should gate CI (refresh the
+//! checked-in baseline when the runner class changes).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use rage_retrieval::json::JsonValue;
+
+fn load_means(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let raw = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    let parsed =
+        JsonValue::parse(raw.trim()).map_err(|err| format!("cannot parse {path}: {err}"))?;
+    if parsed.get("schema").and_then(|s| s.as_str()) != Some("rage-bench/v1") {
+        return Err(format!("{path}: not a rage-bench/v1 document"));
+    }
+    let mut means = BTreeMap::new();
+    if let Some(JsonValue::Array(benches)) = parsed.get("benches") {
+        for bench in benches {
+            let name = bench.get("name").and_then(|n| n.as_str());
+            let mean = match bench.get("mean_ns") {
+                Some(JsonValue::Number(n)) => Some(*n),
+                _ => None,
+            };
+            if let (Some(name), Some(mean)) = (name, mean) {
+                means.insert(name.to_string(), mean);
+            }
+        }
+    }
+    Ok(means)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.20f64;
+    let mut required: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threshold needs a number");
+                    std::process::exit(2);
+                });
+            }
+            "--require" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => required.push(name.clone()),
+                    None => {
+                        eprintln!("--require needs a bench name");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        eprintln!(
+            "usage: bench_diff <baseline.json> <current.json> [--threshold 0.20] [--require name]..."
+        );
+        return ExitCode::from(2);
+    }
+
+    let (baseline, current) = match (load_means(&paths[0]), load_means(&paths[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(err), _) | (_, Err(err)) => {
+            eprintln!("bench_diff: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut failures = Vec::new();
+    println!(
+        "{:<40} {:>14} {:>14} {:>9}  gate",
+        "bench", "baseline", "current", "delta"
+    );
+    for (name, base_mean) in &baseline {
+        let Some(cur_mean) = current.get(name) else {
+            if required.iter().any(|r| r == name) {
+                failures.push(format!("{name}: missing from {}", paths[1]));
+            }
+            continue;
+        };
+        let delta = if *base_mean > 0.0 {
+            cur_mean / base_mean - 1.0
+        } else {
+            0.0
+        };
+        let gated = required.iter().any(|r| r == name);
+        let regressed = gated && delta > threshold;
+        println!(
+            "{:<40} {:>12.0}ns {:>12.0}ns {:>+8.1}%  {}",
+            name,
+            base_mean,
+            cur_mean,
+            delta * 100.0,
+            match (gated, regressed) {
+                (true, true) => "FAIL",
+                (true, false) => "ok",
+                (false, _) => "-",
+            }
+        );
+        if regressed {
+            failures.push(format!(
+                "{name}: {:.1}% slower than baseline (threshold {:.0}%)",
+                delta * 100.0,
+                threshold * 100.0
+            ));
+        }
+    }
+    for name in &required {
+        if !baseline.contains_key(name) {
+            failures.push(format!("{name}: missing from {}", paths[0]));
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "\nbench_diff: no gated regressions (threshold {:.0}%)",
+            threshold * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nbench_diff: {} regression(s):", failures.len());
+        for failure in &failures {
+            eprintln!("  - {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,41 +1,142 @@
-//! Smoke harness: run a full explanation over every demonstration scenario
-//! and print the summaries plus cost accounting.
+//! Smoke harness: run a full explanation over every demonstration scenario —
+//! sequentially and through the 4-thread parallel evaluator — and print the
+//! summaries plus cost accounting and speedups.
 //!
-//! `cargo run -p rage-bench --bin harness [--fast]`
+//! `cargo run -p rage-bench --bin harness [--fast] [--threads N] [--json PATH]`
+//!
+//! With `--json PATH` a machine-readable summary is written: per scenario the
+//! sequential and parallel wall-clock, the `speedup@N` ratio, the LLM-call
+//! counts and the answers, so CI can diff explanation cost across commits.
 
-use rage_bench::workloads::evaluator_for;
+use std::time::Instant;
+
+use rage_bench::workloads::{evaluator_for, parallel_evaluator_for};
 use rage_core::explanation::ReportConfig;
-use rage_core::RageReport;
+use rage_core::{Evaluate, RageReport};
 use rage_datasets::{big_three, timeline, us_open};
+use rage_retrieval::json::JsonValue;
 
 fn main() {
-    let fast = std::env::args().any(|a| a == "--fast");
+    let args: Vec<String> = std::env::args().collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4);
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
     let mut config = ReportConfig::default();
     if fast {
         config.insight_samples = 8;
         config.permutation_budget = Some(32);
     }
 
+    let mut scenario_values = Vec::new();
+    let mut failures = 0usize;
     for scenario in [
         big_three::scenario(),
         us_open::scenario(),
         timeline::scenario(),
     ] {
         println!("=== scenario: {} ===", scenario.name);
-        let evaluator = evaluator_for(&scenario);
-        let start = std::time::Instant::now();
-        match RageReport::generate(&evaluator, &config) {
-            Ok(report) => {
-                print!("{}", report.summary());
-                println!(
-                    "expected answer: {} | elapsed: {:?}\n",
-                    scenario.expected_full_context_answer,
-                    start.elapsed()
-                );
-            }
+
+        // Sequential baseline.
+        let sequential = evaluator_for(&scenario);
+        let seq_start = Instant::now();
+        let seq_report = match RageReport::generate(&sequential, &config) {
+            Ok(report) => report,
             Err(err) => {
                 println!("error: {err}\n");
+                failures += 1;
+                continue;
             }
-        }
+        };
+        let seq_elapsed = seq_start.elapsed();
+
+        // The same explanation through the worker pool + prefix cache.
+        let parallel = parallel_evaluator_for(&scenario, threads);
+        let par_start = Instant::now();
+        let par_report = match RageReport::generate(&parallel, &config) {
+            Ok(report) => report,
+            Err(err) => {
+                println!("error: {err}\n");
+                failures += 1;
+                continue;
+            }
+        };
+        let par_elapsed = par_start.elapsed();
+        let speedup = seq_elapsed.as_secs_f64() / par_elapsed.as_secs_f64().max(1e-9);
+
+        assert_eq!(
+            seq_report.full_context_answer, par_report.full_context_answer,
+            "parallel evaluation must not change answers"
+        );
+
+        print!("{}", seq_report.summary());
+        println!(
+            "expected answer: {} | sequential: {seq_elapsed:?} | parallel({threads}): \
+             {par_elapsed:?} | speedup@{threads}: {speedup:.2}x\n",
+            scenario.expected_full_context_answer
+        );
+
+        scenario_values.push(JsonValue::Object(vec![
+            ("name".into(), JsonValue::String(scenario.name.clone())),
+            (
+                "answer".into(),
+                JsonValue::String(seq_report.full_context_answer.clone()),
+            ),
+            (
+                "sequential_ns".into(),
+                JsonValue::Number(seq_elapsed.as_nanos() as f64),
+            ),
+            (
+                "parallel_ns".into(),
+                JsonValue::Number(par_elapsed.as_nanos() as f64),
+            ),
+            ("threads".into(), JsonValue::Number(threads as f64)),
+            ("speedup".into(), JsonValue::Number(speedup)),
+            (
+                "sequential_llm_calls".into(),
+                JsonValue::Number(seq_report.llm_calls as f64),
+            ),
+            (
+                "parallel_llm_calls".into(),
+                JsonValue::Number(par_report.llm_calls as f64),
+            ),
+            // The evaluator's perturbation-memo hit rate (the SimLlm prefix
+            // cache keeps its own counters, not surfaced here).
+            (
+                "parallel_memo_hit_rate".into(),
+                JsonValue::Number(parallel.cache_stats().hit_rate()),
+            ),
+        ]));
+    }
+
+    if let Some(path) = json_path {
+        let document = JsonValue::Object(vec![
+            (
+                "schema".into(),
+                JsonValue::String("rage-harness/v1".to_string()),
+            ),
+            ("threads".into(), JsonValue::Number(threads as f64)),
+            ("fast".into(), JsonValue::Bool(fast)),
+            ("scenarios".into(), JsonValue::Array(scenario_values)),
+        ]);
+        std::fs::write(&path, document.render() + "\n")
+            .unwrap_or_else(|err| panic!("failed to write harness JSON to {path}: {err}"));
+        println!("wrote harness JSON: {path}");
+    }
+
+    // A scenario that cannot be explained is a failed smoke run — exit
+    // non-zero so the CI step goes red instead of green-with-errors.
+    if failures > 0 {
+        eprintln!("harness: {failures} scenario run(s) failed");
+        std::process::exit(1);
     }
 }

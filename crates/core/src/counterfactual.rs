@@ -27,7 +27,7 @@ use rage_assignment::permutations::permutations_by_similarity;
 
 use crate::answer::answers_equal;
 use crate::error::RageError;
-use crate::evaluator::Evaluator;
+use crate::evaluator::Evaluate;
 use crate::perturbation::Perturbation;
 use crate::scoring::ScoringMethod;
 
@@ -170,6 +170,19 @@ pub struct PermutationOutcome {
 /// blindly and callers should set a budget).
 pub const DEFAULT_PERMUTATION_BUDGET: usize = 720;
 
+/// First submission window of a batched search: windows ramp up `4 → 8 → …`
+/// towards the evaluator's preferred batch, so a flip on the very first
+/// candidates wastes at most a handful of speculative evaluations while
+/// flip-less searches still reach full batch width. The ramp depends only on
+/// the preferred batch size (never the thread count), preserving
+/// thread-count-invariant cost accounting.
+const WINDOW_RAMP_START: usize = 4;
+
+/// The next submission window: double towards the cap.
+fn ramped(window: usize, cap: usize) -> usize {
+    (window * 2).min(cap)
+}
+
 /// Search for the smallest, most relevant combination counterfactual.
 ///
 /// Candidates are enumerated in increasing set size; equal-size candidates are
@@ -177,8 +190,16 @@ pub const DEFAULT_PERMUTATION_BUDGET: usize = 720;
 /// answer change, after the whole (size-bounded) space has been evaluated, or
 /// when the evaluation budget runs out — the returned
 /// [`CombinationOutcome::exhausted_budget`] flag distinguishes the last two.
-pub fn find_combination_counterfactual(
-    evaluator: &Evaluator,
+///
+/// Candidates are submitted to the evaluator in windows of
+/// [`Evaluate::preferred_batch`] (truncated at the remaining budget), then
+/// scanned in candidate order. With the sequential evaluator (window 1) this
+/// reproduces the one-at-a-time early-exit search exactly; a batched evaluator
+/// may evaluate up to `window - 1` candidates past the first flip — spending a
+/// few speculative LLM calls to keep its workers busy — without ever changing
+/// which counterfactual is found or how many candidates are *counted*.
+pub fn find_combination_counterfactual<E: Evaluate + ?Sized>(
+    evaluator: &E,
     config: &CounterfactualConfig,
 ) -> Result<CombinationOutcome, RageError> {
     let k = evaluator.k();
@@ -189,6 +210,8 @@ pub fn find_combination_counterfactual(
     };
     let scores = config.scoring.source_scores(evaluator)?;
     let max_size = config.max_size.unwrap_or(k).min(k);
+    let max_window = evaluator.preferred_batch().max(1);
+    let mut window = max_window.min(WINDOW_RAMP_START);
 
     let mut candidates = 0usize;
     for size in 1..=max_size {
@@ -202,7 +225,20 @@ pub fn find_combination_counterfactual(
             sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
         });
 
-        for set in sets {
+        // (kept, removed) per candidate, in evaluation order.
+        let splits: Vec<(Vec<usize>, Vec<usize>)> = sets
+            .into_iter()
+            .map(|set| match config.direction {
+                SearchDirection::TopDown => (complement(k, &set), set),
+                SearchDirection::BottomUp => {
+                    let removed = complement(k, &set);
+                    (set, removed)
+                }
+            })
+            .collect();
+
+        let mut next = 0usize;
+        while next < splits.len() {
             if let Some(budget) = config.budget {
                 if candidates >= budget {
                     return Ok(CombinationOutcome {
@@ -215,30 +251,37 @@ pub fn find_combination_counterfactual(
                     });
                 }
             }
-            let (kept, removed) = match config.direction {
-                SearchDirection::TopDown => (complement(k, &set), set),
-                SearchDirection::BottomUp => {
-                    let removed = complement(k, &set);
-                    (set, removed)
-                }
-            };
-            let answer = evaluator.answer_for(&Perturbation::Combination(kept.clone()))?;
-            candidates += 1;
-            if !answers_equal(&answer, &baseline) {
-                return Ok(CombinationOutcome {
-                    counterfactual: Some(CombinationCounterfactual {
-                        removed,
-                        kept,
-                        baseline_answer: baseline,
-                        answer,
-                    }),
-                    exhausted_budget: false,
-                    stats: SearchStats {
-                        candidates,
-                        llm_calls: evaluator.llm_calls() - llm_calls_before,
-                    },
-                });
+            let mut end = (next + window).min(splits.len());
+            if let Some(budget) = config.budget {
+                end = end.min(next + (budget - candidates));
             }
+            let batch: Vec<Perturbation> = splits[next..end]
+                .iter()
+                .map(|(kept, _)| Perturbation::Combination(kept.clone()))
+                .collect();
+            let results = evaluator.evaluate_batch(&batch);
+            for (offset, result) in results.into_iter().enumerate() {
+                let answer = result?.answer;
+                candidates += 1;
+                if !answers_equal(&answer, &baseline) {
+                    let (kept, removed) = splits[next + offset].clone();
+                    return Ok(CombinationOutcome {
+                        counterfactual: Some(CombinationCounterfactual {
+                            removed,
+                            kept,
+                            baseline_answer: baseline,
+                            answer,
+                        }),
+                        exhausted_budget: false,
+                        stats: SearchStats {
+                            candidates,
+                            llm_calls: evaluator.llm_calls() - llm_calls_before,
+                        },
+                    });
+                }
+            }
+            next = end;
+            window = ramped(window, max_window);
         }
     }
 
@@ -255,8 +298,8 @@ pub fn find_combination_counterfactual(
 /// Like [`find_combination_counterfactual`] but demands a result: failing to
 /// find one (budget exhausted or space exhausted) is a
 /// [`RageError::BudgetExhausted`].
-pub fn require_combination_counterfactual(
-    evaluator: &Evaluator,
+pub fn require_combination_counterfactual<E: Evaluate + ?Sized>(
+    evaluator: &E,
     config: &CounterfactualConfig,
 ) -> Result<CombinationCounterfactual, RageError> {
     let outcome = find_combination_counterfactual(evaluator, config)?;
@@ -271,14 +314,20 @@ pub fn require_combination_counterfactual(
 /// (increasing inversion count) and evaluated until the answer changes. At most
 /// `budget` candidates — [`DEFAULT_PERMUTATION_BUDGET`] when `None` — are
 /// evaluated; the identity order is not a candidate.
-pub fn find_permutation_counterfactual(
-    evaluator: &Evaluator,
+///
+/// Candidates are submitted in windows of [`Evaluate::preferred_batch`] and
+/// scanned in similarity order, with the same speculative-evaluation caveat as
+/// [`find_combination_counterfactual`].
+pub fn find_permutation_counterfactual<E: Evaluate + ?Sized>(
+    evaluator: &E,
     budget: Option<usize>,
 ) -> Result<PermutationOutcome, RageError> {
     let k = evaluator.k();
     let llm_calls_before = evaluator.llm_calls();
     let baseline = evaluator.full_context_answer()?;
     let budget = budget.unwrap_or(DEFAULT_PERMUTATION_BUDGET);
+    let max_window = evaluator.preferred_batch().max(1);
+    let mut window = max_window.min(WINDOW_RAMP_START);
 
     // Total non-identity permutations; saturating, only compared against the
     // budget to decide whether the space (not just the budget) was exhausted.
@@ -286,27 +335,42 @@ pub fn find_permutation_counterfactual(
     let limit = (budget as u128).min(space) as usize;
 
     // `permutations_by_similarity` yields the identity first; skip it.
-    let candidates_in_order = permutations_by_similarity(k, limit + 1);
+    let orders: Vec<Vec<usize>> = permutations_by_similarity(k, limit + 1)
+        .into_iter()
+        .skip(1)
+        .collect();
     let mut candidates = 0usize;
-    for order in candidates_in_order.into_iter().skip(1) {
-        let answer = evaluator.answer_for(&Perturbation::Permutation(order.clone()))?;
-        candidates += 1;
-        if !answers_equal(&answer, &baseline) {
-            let tau = kendall_tau(&order);
-            return Ok(PermutationOutcome {
-                counterfactual: Some(PermutationCounterfactual {
-                    order,
-                    tau,
-                    baseline_answer: baseline,
-                    answer,
-                }),
-                exhausted_budget: false,
-                stats: SearchStats {
-                    candidates,
-                    llm_calls: evaluator.llm_calls() - llm_calls_before,
-                },
-            });
+    let mut next = 0usize;
+    while next < orders.len() {
+        let end = (next + window).min(orders.len());
+        let batch: Vec<Perturbation> = orders[next..end]
+            .iter()
+            .map(|order| Perturbation::Permutation(order.clone()))
+            .collect();
+        let results = evaluator.evaluate_batch(&batch);
+        for (offset, result) in results.into_iter().enumerate() {
+            let answer = result?.answer;
+            candidates += 1;
+            if !answers_equal(&answer, &baseline) {
+                let order = orders[next + offset].clone();
+                let tau = kendall_tau(&order);
+                return Ok(PermutationOutcome {
+                    counterfactual: Some(PermutationCounterfactual {
+                        order,
+                        tau,
+                        baseline_answer: baseline,
+                        answer,
+                    }),
+                    exhausted_budget: false,
+                    stats: SearchStats {
+                        candidates,
+                        llm_calls: evaluator.llm_calls() - llm_calls_before,
+                    },
+                });
+            }
         }
+        next = end;
+        window = ramped(window, max_window);
     }
 
     Ok(PermutationOutcome {
@@ -320,8 +384,8 @@ pub fn find_permutation_counterfactual(
 }
 
 /// Like [`find_permutation_counterfactual`] but demands a result.
-pub fn require_permutation_counterfactual(
-    evaluator: &Evaluator,
+pub fn require_permutation_counterfactual<E: Evaluate + ?Sized>(
+    evaluator: &E,
     budget: Option<usize>,
 ) -> Result<PermutationCounterfactual, RageError> {
     let outcome = find_permutation_counterfactual(evaluator, budget)?;
@@ -334,6 +398,7 @@ pub fn require_permutation_counterfactual(
 mod tests {
     use super::*;
     use crate::context::Context;
+    use crate::evaluator::{Evaluator, ParallelEvaluator};
     use rage_llm::{Generation, LanguageModel, LlmInput};
     use rage_retrieval::Document;
     use std::sync::Arc;
@@ -532,6 +597,33 @@ mod tests {
             require_permutation_counterfactual(&evaluator, Some(4)),
             Err(RageError::BudgetExhausted { evaluated: 4 })
         ));
+    }
+
+    #[test]
+    fn parallel_searches_find_the_same_counterfactuals() {
+        let sequential = Evaluator::new(Arc::new(FirstSourceLlm::uniform(4)), context(4));
+        let combo_seq =
+            find_combination_counterfactual(&sequential, &CounterfactualConfig::top_down())
+                .unwrap();
+        let perm_seq = find_permutation_counterfactual(&sequential, None).unwrap();
+
+        for threads in [1, 2, 4] {
+            let parallel = ParallelEvaluator::new(
+                Evaluator::new(Arc::new(FirstSourceLlm::uniform(4)), context(4)),
+                threads,
+            );
+            let combo =
+                find_combination_counterfactual(&parallel, &CounterfactualConfig::top_down())
+                    .unwrap();
+            let perm = find_permutation_counterfactual(&parallel, None).unwrap();
+            // Identical explanations and identical logical candidate counts;
+            // only the speculative llm_calls may exceed the sequential run's.
+            assert_eq!(combo.counterfactual, combo_seq.counterfactual);
+            assert_eq!(combo.stats.candidates, combo_seq.stats.candidates);
+            assert_eq!(perm.counterfactual, perm_seq.counterfactual);
+            assert_eq!(perm.stats.candidates, perm_seq.stats.candidates);
+            assert!(perm.stats.llm_calls >= perm_seq.stats.llm_calls);
+        }
     }
 
     #[test]

@@ -1,15 +1,64 @@
-//! Cached, counted evaluation of perturbed contexts.
+//! Cached, counted evaluation of perturbed contexts — sequential and parallel.
 //!
-//! Every perturbation the searches consider costs one LLM inference. [`Evaluator`]
-//! centralises those calls: it builds the prompt for a perturbed context, queries the
-//! model, caches answers keyed by the perturbation (identical perturbations are never
-//! re-evaluated) and counts the number of true LLM invocations — the cost metric used by
-//! the pruning experiments (E7).
+//! Every perturbation the searches consider costs one LLM inference. This
+//! module centralises those calls behind the [`Evaluate`] trait: build the
+//! prompt for a perturbed context, query the model, cache answers keyed by the
+//! (canonicalised) perturbation and count true LLM invocations — the cost
+//! metric used by the pruning experiments (E7).
+//!
+//! ## Concurrency model
+//!
+//! Two implementations share one contract:
+//!
+//! * [`Evaluator`] — the sequential reference implementation. Its memo cache
+//!   is a lock-striped map and its counters are atomics, so the whole struct
+//!   is `Sync` and can be shared across threads, but it performs every
+//!   evaluation on the calling thread, strictly in submission order.
+//! * [`ParallelEvaluator`] — wraps an `Arc<Evaluator>` and owns a fixed pool
+//!   of `std::thread` workers fed over an mpsc channel. A batch is
+//!   deduplicated by canonical perturbation, the unique keys are fanned out to
+//!   the workers, and results are scattered back by index, so the returned
+//!   vector is **byte-identical** to what the sequential evaluator would
+//!   return for the same batch — thread count and scheduling can never leak
+//!   into results (the model itself is deterministic, and the memo guarantees
+//!   one inference per distinct perturbation).
+//!
+//! Searches interact with either through [`Evaluate::evaluate_batch`] and size
+//! their submission windows by [`Evaluate::preferred_batch`]: the sequential
+//! evaluator reports `1`, which reproduces the historical one-at-a-time
+//! early-exit behaviour (and its exact cost accounting); the parallel
+//! evaluator reports a fixed window ([`DEFAULT_BATCH_WINDOW`]) that is
+//! deliberately **independent of the thread count**, so reports generated with
+//! 1, 2, 4 or 8 threads are equal down to the cost counters. Relative to the
+//! sequential evaluator, a windowed search may evaluate up to `window - 1`
+//! speculative candidates past an answer flip; this affects only the cost
+//! counters, never which counterfactual is found.
+//!
+//! ## Cache invariants
+//!
+//! * One memo entry per canonical perturbation; the canonical form aliases the
+//!   full identity permutation to the all-sources combination because both
+//!   render the same prompt.
+//! * `misses == llm_calls`: every miss performs exactly one inference, hits
+//!   perform none ([`Evaluator::cache_stats`]).
+//! * Entries are never evicted or mutated, so a cached [`Generation`] is
+//!   returned bit-identically forever after.
+//! * Striping (16 stripes, keyed by the perturbation hash) bounds lock
+//!   contention under the worker pool; a stripe lock is held only for the
+//!   O(1) lookup/insert, never across an LLM inference. Two workers racing on
+//!   the *same* uncached perturbation would both run the inference (the
+//!   deterministic model makes the results identical); the parallel batch path
+//!   prevents that by deduplicating before dispatch, which keeps the
+//!   `llm_calls` accounting exact.
 
-use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
-use std::sync::Arc;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
 
+pub use rage_llm::cache::CacheStats;
 use rage_llm::{Generation, LanguageModel};
 
 use crate::context::Context;
@@ -17,14 +66,149 @@ use crate::error::RageError;
 use crate::perturbation::Perturbation;
 use crate::prompt::PromptBuilder;
 
-/// Evaluates perturbations of one fixed (question, context) pair against an LLM.
+/// Number of stripes in the shared memo map. A power of two comfortably above
+/// any sensible worker count, so concurrent lookups rarely collide.
+const MEMO_STRIPES: usize = 16;
+
+/// Fixed batch window advertised by [`ParallelEvaluator::preferred_batch`].
+///
+/// Deliberately independent of the worker count: the window determines how
+/// many speculative candidates a search may evaluate past an early exit, and
+/// keeping it constant makes explanation *cost accounting* (not just
+/// explanation content) identical across thread counts.
+pub const DEFAULT_BATCH_WINDOW: usize = 16;
+
+/// The evaluation contract shared by sequential and parallel evaluators.
+///
+/// Implementations memoise generations per canonical perturbation and count
+/// true LLM inferences; see the module docs for the exact invariants. All
+/// methods take `&self` — implementations use interior mutability and must be
+/// safe to call from the thread that owns the evaluator (both implementations
+/// here are additionally `Sync`).
+pub trait Evaluate {
+    /// The context being explained.
+    fn context(&self) -> &Context;
+
+    /// The question posed to the LLM.
+    fn question(&self) -> &str;
+
+    /// The full generation (answer + attention read-out) for a perturbation.
+    fn generation_for(&self, perturbation: &Perturbation) -> Result<Generation, RageError>;
+
+    /// Evaluate a batch of perturbations, returning one result per input in
+    /// input order.
+    ///
+    /// The results must be exactly what element-wise
+    /// [`generation_for`](Evaluate::generation_for) calls would produce;
+    /// batching is a throughput lever, never a semantic one.
+    fn evaluate_batch(&self, perturbations: &[Perturbation]) -> Vec<Result<Generation, RageError>>;
+
+    /// How many perturbations a search should submit per
+    /// [`evaluate_batch`](Evaluate::evaluate_batch) call to keep this
+    /// evaluator busy. Searches with early exits may evaluate up to this many
+    /// candidates speculatively past the exit point.
+    fn preferred_batch(&self) -> usize {
+        1
+    }
+
+    /// Number of *actual* LLM inferences performed so far (cache hits excluded).
+    fn llm_calls(&self) -> usize;
+
+    /// Number of distinct perturbations evaluated so far.
+    fn evaluations(&self) -> usize;
+
+    /// Hit/miss counters of the memo cache (`misses == llm_calls`; the memo
+    /// never evicts, so `evictions` is always 0).
+    fn cache_stats(&self) -> CacheStats;
+
+    /// The rendered prompt text for a perturbation (for provenance display).
+    fn prompt_text(&self, perturbation: &Perturbation) -> Result<String, RageError>;
+
+    /// Number of sources `k` in the context.
+    fn k(&self) -> usize {
+        self.context().len()
+    }
+
+    /// The raw answer string for a perturbation.
+    fn answer_for(&self, perturbation: &Perturbation) -> Result<String, RageError> {
+        Ok(self.generation_for(perturbation)?.answer)
+    }
+
+    /// The answer over the full, unperturbed context (`a = L(q, Dq)`).
+    fn full_context_answer(&self) -> Result<String, RageError> {
+        self.answer_for(&Perturbation::identity_combination(self.k()))
+    }
+
+    /// The generation over the full, unperturbed context (used by attention scoring).
+    fn full_context_generation(&self) -> Result<Generation, RageError> {
+        self.generation_for(&Perturbation::identity_combination(self.k()))
+    }
+
+    /// The answer over the empty context (prior knowledge only).
+    fn empty_context_answer(&self) -> Result<String, RageError> {
+        self.answer_for(&Perturbation::Combination(Vec::new()))
+    }
+}
+
+/// The shared memo: perturbation → generation, striped to keep worker threads
+/// off each other's locks.
+struct StripedMemo {
+    stripes: Vec<Mutex<HashMap<Perturbation, Generation>>>,
+}
+
+impl StripedMemo {
+    fn new() -> Self {
+        Self {
+            stripes: (0..MEMO_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn stripe_of(&self, key: &Perturbation) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.stripes.len()
+    }
+
+    fn get(&self, key: &Perturbation) -> Option<Generation> {
+        self.stripes[self.stripe_of(key)]
+            .lock()
+            .expect("memo stripe poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    fn insert(&self, key: Perturbation, value: Generation) {
+        let stripe = self.stripe_of(&key);
+        self.stripes[stripe]
+            .lock()
+            .expect("memo stripe poisoned")
+            .insert(key, value);
+    }
+
+    fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("memo stripe poisoned").len())
+            .sum()
+    }
+}
+
+/// Evaluates perturbations of one fixed (question, context) pair against an
+/// LLM, strictly on the calling thread.
+///
+/// This is the sequential [`Evaluate`] implementation and the cache/counter
+/// substrate the [`ParallelEvaluator`] wraps. It is `Sync`: the memo is a
+/// lock-striped map and the counters are atomics.
 pub struct Evaluator {
     llm: Arc<dyn LanguageModel>,
     prompt_builder: PromptBuilder,
     context: Context,
     question: String,
-    cache: RefCell<HashMap<Perturbation, Generation>>,
-    llm_calls: Cell<usize>,
+    cache: StripedMemo,
+    llm_calls: AtomicUsize,
+    cache_hits: AtomicUsize,
 }
 
 impl Evaluator {
@@ -36,8 +220,9 @@ impl Evaluator {
             prompt_builder: PromptBuilder::default(),
             context,
             question,
-            cache: RefCell::new(HashMap::new()),
-            llm_calls: Cell::new(0),
+            cache: StripedMemo::new(),
+            llm_calls: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
         }
     }
 
@@ -70,12 +255,23 @@ impl Evaluator {
 
     /// Number of *actual* LLM inferences performed so far (cache hits excluded).
     pub fn llm_calls(&self) -> usize {
-        self.llm_calls.get()
+        self.llm_calls.load(Ordering::SeqCst)
     }
 
     /// Number of distinct perturbations evaluated so far.
     pub fn evaluations(&self) -> usize {
-        self.cache.borrow().len()
+        self.cache.len()
+    }
+
+    /// Hit/miss counters of the memo cache. Every miss is exactly one LLM
+    /// inference (`misses == llm_calls`); lookups that error before reaching
+    /// the model (invalid perturbations) count as neither.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.load(Ordering::SeqCst) as u64,
+            misses: self.llm_calls.load(Ordering::SeqCst) as u64,
+            evictions: 0,
+        }
     }
 
     /// Cache-canonical form of a perturbation: the identity permutation
@@ -99,15 +295,27 @@ impl Evaluator {
     /// The full generation (answer + attention read-out) for a perturbation.
     pub fn generation_for(&self, perturbation: &Perturbation) -> Result<Generation, RageError> {
         let key = self.canonical(perturbation);
-        if let Some(hit) = self.cache.borrow().get(&key) {
-            return Ok(hit.clone());
+        if let Some(hit) = self.cache.get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::SeqCst);
+            return Ok(hit);
         }
         let sources = perturbation.apply(&self.context)?;
         let input = self.prompt_builder.build_input(&self.question, &sources);
         let generation = self.llm.generate(&input);
-        self.llm_calls.set(self.llm_calls.get() + 1);
-        self.cache.borrow_mut().insert(key, generation.clone());
+        self.llm_calls.fetch_add(1, Ordering::SeqCst);
+        self.cache.insert(key, generation.clone());
         Ok(generation)
+    }
+
+    /// Evaluate a batch one perturbation at a time, in input order.
+    pub fn evaluate_batch(
+        &self,
+        perturbations: &[Perturbation],
+    ) -> Vec<Result<Generation, RageError>> {
+        perturbations
+            .iter()
+            .map(|p| self.generation_for(p))
+            .collect()
     }
 
     /// The raw answer string for a perturbation.
@@ -134,6 +342,291 @@ impl Evaluator {
     pub fn prompt_text(&self, perturbation: &Perturbation) -> Result<String, RageError> {
         let sources = perturbation.apply(&self.context)?;
         Ok(self.prompt_builder.render(&self.question, &sources))
+    }
+}
+
+impl Evaluate for Evaluator {
+    fn context(&self) -> &Context {
+        Evaluator::context(self)
+    }
+
+    fn question(&self) -> &str {
+        Evaluator::question(self)
+    }
+
+    fn generation_for(&self, perturbation: &Perturbation) -> Result<Generation, RageError> {
+        Evaluator::generation_for(self, perturbation)
+    }
+
+    fn evaluate_batch(&self, perturbations: &[Perturbation]) -> Vec<Result<Generation, RageError>> {
+        Evaluator::evaluate_batch(self, perturbations)
+    }
+
+    fn llm_calls(&self) -> usize {
+        Evaluator::llm_calls(self)
+    }
+
+    fn evaluations(&self) -> usize {
+        Evaluator::evaluations(self)
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        Evaluator::cache_stats(self)
+    }
+
+    fn prompt_text(&self, perturbation: &Perturbation) -> Result<String, RageError> {
+        Evaluator::prompt_text(self, perturbation)
+    }
+}
+
+/// One unit of work for the pool: evaluate `perturbation`, report under `index`.
+struct Job {
+    index: usize,
+    perturbation: Perturbation,
+}
+
+/// A fixed set of worker threads fed over an mpsc channel.
+///
+/// Workers pull jobs from a shared receiver (guarded by a mutex — contention
+/// is negligible because one job costs an LLM inference) and push
+/// `(index, result)` pairs back on a shared result channel. The `dispatch`
+/// mutex serialises whole batches so results from concurrent
+/// [`ParallelEvaluator::evaluate_batch`] callers cannot interleave. Dropping
+/// the pool closes the job channel, which terminates every worker.
+struct WorkerPool {
+    job_tx: Option<mpsc::Sender<Job>>,
+    result_rx: Mutex<mpsc::Receiver<(usize, Result<Generation, RageError>)>>,
+    dispatch: Mutex<()>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(inner: Arc<Evaluator>, threads: usize) -> Self {
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (result_tx, result_rx) = mpsc::channel();
+        let handles = (0..threads)
+            .map(|worker| {
+                let job_rx = Arc::clone(&job_rx);
+                let result_tx = result_tx.clone();
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("rage-eval-{worker}"))
+                    .spawn(move || loop {
+                        // The guard is scoped to the recv: one worker at a
+                        // time waits on the channel, then releases the lock to
+                        // run the (comparatively huge) inference.
+                        let job = {
+                            let rx = job_rx.lock().expect("job channel poisoned");
+                            rx.recv()
+                        };
+                        match job {
+                            Ok(job) => {
+                                let result = inner.generation_for(&job.perturbation);
+                                if result_tx.send((job.index, result)).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => break, // job channel closed: shut down
+                        }
+                    })
+                    .expect("failed to spawn evaluator worker thread")
+            })
+            .collect();
+        Self {
+            job_tx: Some(job_tx),
+            result_rx: Mutex::new(result_rx),
+            dispatch: Mutex::new(()),
+            handles,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channel makes every worker's recv() fail, so they
+        // exit their loops; then reap them.
+        self.job_tx.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A batched, parallel [`Evaluate`] implementation over a worker-thread pool.
+///
+/// Wraps a (shared, `Sync`) [`Evaluator`]: the memo cache, the counters and
+/// the LLM handle all live in the inner evaluator, so sequential calls through
+/// [`ParallelEvaluator::generation_for`] and batched calls through
+/// [`ParallelEvaluator::evaluate_batch`] observe one coherent cache.
+///
+/// Batches are deduplicated by canonical perturbation before dispatch — each
+/// distinct perturbation is evaluated by exactly one worker — which keeps the
+/// `llm_calls`/hit/miss accounting identical to a sequential evaluation of the
+/// same batch. Results are scattered back by input index, so batch output
+/// order (and content, the model being deterministic) is byte-identical to the
+/// sequential evaluator's regardless of thread count or scheduling. See the
+/// module docs for the full concurrency model.
+pub struct ParallelEvaluator {
+    inner: Arc<Evaluator>,
+    threads: usize,
+    batch_window: usize,
+    pool: WorkerPool,
+}
+
+impl ParallelEvaluator {
+    /// Spawn a pool of `threads` workers (clamped to at least 1) over the
+    /// given evaluator.
+    pub fn new(evaluator: Evaluator, threads: usize) -> Self {
+        Self::from_shared(Arc::new(evaluator), threads)
+    }
+
+    /// Like [`ParallelEvaluator::new`] but sharing an evaluator that other
+    /// parties hold too (they all see the same memo cache and counters).
+    pub fn from_shared(inner: Arc<Evaluator>, threads: usize) -> Self {
+        let threads = threads.max(1);
+        let pool = WorkerPool::spawn(Arc::clone(&inner), threads);
+        Self {
+            inner,
+            threads,
+            batch_window: DEFAULT_BATCH_WINDOW,
+            pool,
+        }
+    }
+
+    /// Override the advertised batch window (clamped to at least 1).
+    ///
+    /// Larger windows feed the pool better but evaluate more speculative
+    /// candidates past a search's early exit; the window affects cost
+    /// accounting only, never which explanation is found.
+    pub fn with_batch_window(mut self, window: usize) -> Self {
+        self.batch_window = window.max(1);
+        self
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The wrapped sequential evaluator (shared cache and counters).
+    pub fn inner(&self) -> &Evaluator {
+        &self.inner
+    }
+
+    /// Evaluate a batch across the worker pool; results arrive in input order.
+    pub fn evaluate_batch(
+        &self,
+        perturbations: &[Perturbation],
+    ) -> Vec<Result<Generation, RageError>> {
+        if perturbations.is_empty() {
+            return Vec::new();
+        }
+        // Deduplicate by canonical key so each distinct perturbation is
+        // evaluated exactly once (keeping llm_calls identical to a sequential
+        // pass over the same batch).
+        let mut seen: HashSet<Perturbation> = HashSet::new();
+        let mut unique: Vec<usize> = Vec::new();
+        for (index, perturbation) in perturbations.iter().enumerate() {
+            if seen.insert(self.inner.canonical(perturbation)) {
+                unique.push(index);
+            }
+        }
+
+        let mut slots: Vec<Option<Result<Generation, RageError>>> =
+            (0..perturbations.len()).map(|_| None).collect();
+        {
+            // Serialise whole batches: the result channel is shared, and
+            // interleaved batches would steal each other's (index, result)
+            // pairs.
+            let _batch = self.pool.dispatch.lock().expect("dispatch lock poisoned");
+            let job_tx = self
+                .pool
+                .job_tx
+                .as_ref()
+                .expect("worker pool alive while evaluator exists");
+            for &index in &unique {
+                job_tx
+                    .send(Job {
+                        index,
+                        perturbation: perturbations[index].clone(),
+                    })
+                    .expect("worker pool alive while evaluator exists");
+            }
+            let result_rx = self.pool.result_rx.lock().expect("result channel poisoned");
+            let mut received = 0usize;
+            while received < unique.len() {
+                match result_rx.recv_timeout(std::time::Duration::from_millis(100)) {
+                    Ok((index, result)) => {
+                        slots[index] = Some(result);
+                        received += 1;
+                    }
+                    // A worker can only exit while the pool lives if it
+                    // panicked mid-inference (its result will never arrive);
+                    // propagate instead of waiting forever. The timeout only
+                    // paces this liveness check — slow inferences keep
+                    // looping until their results land.
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if self.pool.handles.iter().any(|handle| handle.is_finished()) {
+                            panic!("evaluator worker thread panicked during a batch");
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        panic!("evaluator worker pool disconnected during a batch");
+                    }
+                }
+            }
+        }
+
+        // Duplicates resolve through the (now warm) memo — a cache hit for
+        // successes, the identical deterministic error otherwise — exactly as
+        // they would sequentially.
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, slot)| match slot {
+                Some(result) => result,
+                None => self.inner.generation_for(&perturbations[index]),
+            })
+            .collect()
+    }
+}
+
+impl Evaluate for ParallelEvaluator {
+    fn context(&self) -> &Context {
+        self.inner.context()
+    }
+
+    fn question(&self) -> &str {
+        self.inner.question()
+    }
+
+    fn generation_for(&self, perturbation: &Perturbation) -> Result<Generation, RageError> {
+        self.inner.generation_for(perturbation)
+    }
+
+    fn evaluate_batch(&self, perturbations: &[Perturbation]) -> Vec<Result<Generation, RageError>> {
+        ParallelEvaluator::evaluate_batch(self, perturbations)
+    }
+
+    fn preferred_batch(&self) -> usize {
+        self.batch_window
+    }
+
+    fn llm_calls(&self) -> usize {
+        self.inner.llm_calls()
+    }
+
+    fn evaluations(&self) -> usize {
+        self.inner.evaluations()
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.inner.cache_stats()
+    }
+
+    fn prompt_text(&self, perturbation: &Perturbation) -> Result<String, RageError> {
+        self.inner.prompt_text(perturbation)
     }
 }
 
@@ -225,6 +718,36 @@ mod tests {
     }
 
     #[test]
+    fn cache_stats_pin_hit_and_miss_accounting() {
+        let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::new()), context());
+        assert_eq!(evaluator.cache_stats(), CacheStats::default());
+
+        let p = Perturbation::Combination(vec![0, 2]);
+        evaluator.answer_for(&p).unwrap(); // miss
+        evaluator.answer_for(&p).unwrap(); // hit
+        evaluator.answer_for(&p).unwrap(); // hit
+        evaluator.full_context_answer().unwrap(); // miss
+                                                  // The identity permutation aliases to the full-context entry: a hit.
+        evaluator
+            .answer_for(&Perturbation::identity_permutation(3))
+            .unwrap();
+
+        let stats = evaluator.cache_stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.misses as usize, evaluator.llm_calls());
+        assert_eq!(stats.lookups(), 5);
+        assert!((stats.hit_rate() - 0.6).abs() < 1e-12);
+
+        // Invalid perturbations count as neither hit nor miss.
+        assert!(evaluator
+            .answer_for(&Perturbation::Combination(vec![9]))
+            .is_err());
+        assert_eq!(evaluator.cache_stats(), stats);
+    }
+
+    #[test]
     fn identity_permutation_shares_the_full_context_cache_entry() {
         let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::new()), context());
         evaluator.full_context_answer().unwrap();
@@ -279,5 +802,162 @@ mod tests {
         let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::new()), context());
         let generation = evaluator.full_context_generation().unwrap();
         assert_eq!(generation.source_attention.len(), 3);
+    }
+
+    #[test]
+    fn sequential_batch_matches_elementwise_calls() {
+        let batch = vec![
+            Perturbation::Combination(vec![0, 1, 2]),
+            Perturbation::Combination(vec![1, 2]),
+            Perturbation::Combination(vec![1, 2]), // duplicate: a hit
+            Perturbation::Permutation(vec![2, 0, 1]),
+        ];
+        let reference = Evaluator::new(Arc::new(FirstSourceLlm::new()), context());
+        let expected: Vec<Generation> = batch
+            .iter()
+            .map(|p| reference.generation_for(p).unwrap())
+            .collect();
+
+        let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::new()), context());
+        let results = evaluator.evaluate_batch(&batch);
+        let got: Vec<Generation> = results.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, expected);
+        assert_eq!(evaluator.llm_calls(), reference.llm_calls());
+        assert_eq!(evaluator.cache_stats(), reference.cache_stats());
+    }
+
+    #[test]
+    fn parallel_batch_is_byte_identical_to_sequential() {
+        let batch: Vec<Perturbation> = vec![
+            Perturbation::Combination(vec![0]),
+            Perturbation::Combination(vec![1]),
+            Perturbation::Combination(vec![2]),
+            Perturbation::Combination(vec![0, 1]),
+            Perturbation::Combination(vec![0, 2]),
+            Perturbation::Combination(vec![1, 2]),
+            Perturbation::Combination(vec![0, 1, 2]),
+            Perturbation::Permutation(vec![1, 0, 2]),
+            Perturbation::Permutation(vec![2, 1, 0]),
+            Perturbation::Combination(vec![0, 1]), // duplicate
+            Perturbation::identity_permutation(3), // aliases the full context
+        ];
+        let sequential = Evaluator::new(Arc::new(FirstSourceLlm::new()), context());
+        let expected = sequential.evaluate_batch(&batch);
+
+        for threads in [1, 2, 4, 8] {
+            let llm = Arc::new(FirstSourceLlm::new());
+            let parallel = ParallelEvaluator::new(Evaluator::new(llm.clone(), context()), threads);
+            let got = parallel.evaluate_batch(&batch);
+            assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(expected.iter()) {
+                assert_eq!(
+                    g.as_ref().unwrap(),
+                    e.as_ref().unwrap(),
+                    "threads={threads}"
+                );
+            }
+            // Dedup keeps true inference counts identical to sequential.
+            assert_eq!(parallel.llm_calls(), sequential.llm_calls());
+            assert_eq!(
+                llm.calls.load(Ordering::SeqCst),
+                sequential.llm_calls(),
+                "threads={threads}"
+            );
+            assert_eq!(parallel.cache_stats(), sequential.cache_stats());
+        }
+    }
+
+    #[test]
+    fn parallel_batch_propagates_errors_per_item() {
+        let parallel = ParallelEvaluator::new(
+            Evaluator::new(Arc::new(FirstSourceLlm::new()), context()),
+            4,
+        );
+        let batch = vec![
+            Perturbation::Combination(vec![0]),
+            Perturbation::Combination(vec![9]), // invalid
+            Perturbation::Combination(vec![9]), // duplicate invalid
+            Perturbation::Combination(vec![1]),
+        ];
+        let results = parallel.evaluate_batch(&batch);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_err());
+        assert!(results[3].is_ok());
+    }
+
+    /// Answers normally except for the empty context, where it panics.
+    struct PanicOnEmptyLlm;
+
+    impl LanguageModel for PanicOnEmptyLlm {
+        fn generate(&self, input: &LlmInput) -> Generation {
+            let answer = input
+                .sources
+                .first()
+                .map(|s| s.id.clone())
+                .unwrap_or_else(|| panic!("poison perturbation reached the model"));
+            Generation {
+                answer: answer.clone(),
+                text: answer,
+                source_attention: vec![1.0; input.sources.len()],
+                prompt_tokens: 1,
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn worker_panic_propagates_instead_of_hanging() {
+        let parallel =
+            ParallelEvaluator::new(Evaluator::new(Arc::new(PanicOnEmptyLlm), context()), 2);
+        let batch = vec![
+            Perturbation::Combination(vec![0]),
+            Perturbation::Combination(vec![]), // triggers the model panic
+            Perturbation::Combination(vec![1]),
+        ];
+        let _ = parallel.evaluate_batch(&batch);
+    }
+
+    #[test]
+    fn parallel_empty_batch_is_a_no_op() {
+        let parallel = ParallelEvaluator::new(
+            Evaluator::new(Arc::new(FirstSourceLlm::new()), context()),
+            2,
+        );
+        assert!(parallel.evaluate_batch(&[]).is_empty());
+        assert_eq!(parallel.llm_calls(), 0);
+    }
+
+    #[test]
+    fn parallel_evaluator_reports_fixed_window_and_threads() {
+        let parallel = ParallelEvaluator::new(
+            Evaluator::new(Arc::new(FirstSourceLlm::new()), context()),
+            0,
+        );
+        assert_eq!(parallel.threads(), 1); // clamped
+        assert_eq!(Evaluate::preferred_batch(&parallel), DEFAULT_BATCH_WINDOW);
+        let parallel = parallel.with_batch_window(0);
+        assert_eq!(Evaluate::preferred_batch(&parallel), 1); // clamped
+
+        let sequential = Evaluator::new(Arc::new(FirstSourceLlm::new()), context());
+        assert_eq!(Evaluate::preferred_batch(&sequential), 1);
+    }
+
+    #[test]
+    fn shared_inner_evaluator_shares_the_memo() {
+        let inner = Arc::new(Evaluator::new(Arc::new(FirstSourceLlm::new()), context()));
+        let parallel = ParallelEvaluator::from_shared(Arc::clone(&inner), 2);
+        parallel
+            .evaluate_batch(&[Perturbation::Combination(vec![0, 1])])
+            .into_iter()
+            .for_each(|r| {
+                r.unwrap();
+            });
+        // The same perturbation through the inner handle is a cache hit.
+        inner
+            .answer_for(&Perturbation::Combination(vec![0, 1]))
+            .unwrap();
+        assert_eq!(inner.llm_calls(), 1);
+        assert_eq!(inner.cache_stats().hits, 1);
     }
 }

@@ -18,7 +18,7 @@ use crate::counterfactual::{
     CounterfactualConfig, PermutationOutcome, SearchDirection,
 };
 use crate::error::RageError;
-use crate::evaluator::Evaluator;
+use crate::evaluator::Evaluate;
 use crate::insights::{random_permutations, Insights};
 use crate::optimal::{best_orders, worst_orders, OptimalConfig, OptimalPermutation};
 use crate::scoring::ScoringMethod;
@@ -89,7 +89,18 @@ pub struct RageReport {
 
 impl RageReport {
     /// Run every search over the evaluator's context and assemble the report.
-    pub fn generate(evaluator: &Evaluator, config: &ReportConfig) -> Result<Self, RageError> {
+    ///
+    /// Works over any [`Evaluate`] implementation. With a
+    /// [`ParallelEvaluator`](crate::evaluator::ParallelEvaluator) the report's
+    /// explanation content (answers, counterfactuals, placements, insights) is
+    /// identical to the sequential evaluator's, and is invariant in the thread
+    /// count down to the cost counters; relative to a sequential run, the cost
+    /// counters may include a few speculative evaluations per search (see the
+    /// evaluator module docs).
+    pub fn generate<E: Evaluate + ?Sized>(
+        evaluator: &E,
+        config: &ReportConfig,
+    ) -> Result<Self, RageError> {
         let evaluations_before = evaluator.evaluations();
         let llm_calls_before = evaluator.llm_calls();
         let full_context_answer = evaluator.full_context_answer()?;

@@ -29,7 +29,10 @@
 //! * [`answer`] — answer normalisation (lowercase, strip punctuation, trim).
 //! * [`pipeline`] — [`RagPipeline`](pipeline::RagPipeline): retrieval + LLM end to end.
 //! * [`perturbation`] — combination/permutation perturbations and their application.
-//! * [`evaluator`] — cached, counted evaluation of perturbed contexts against the LLM.
+//! * [`evaluator`] — cached, counted evaluation of perturbed contexts against the LLM:
+//!   the [`Evaluate`](evaluator::Evaluate) trait, the sequential
+//!   [`Evaluator`](evaluator::Evaluator) and the worker-pool
+//!   [`ParallelEvaluator`](evaluator::ParallelEvaluator).
 //! * [`scoring`] — the two source-relevance estimators `S(q, d, Dq)`.
 //! * [`counterfactual`] — top-down, bottom-up and permutation counterfactual search.
 //! * [`insights`] — answer distributions, rules and tables over perturbation samples.
@@ -92,7 +95,7 @@ pub mod scoring;
 pub use answer::{answers_equal, normalize_answer};
 pub use context::{Context, ContextSource};
 pub use error::RageError;
-pub use evaluator::Evaluator;
+pub use evaluator::{CacheStats, Evaluate, Evaluator, ParallelEvaluator};
 pub use explanation::RageReport;
 pub use perturbation::Perturbation;
 pub use pipeline::{RagPipeline, RagResponse};

@@ -22,7 +22,7 @@ use rage_assignment::permutations::PermutationIter;
 use rage_llm::position_bias::PositionBiasProfile;
 
 use crate::error::RageError;
-use crate::evaluator::Evaluator;
+use crate::evaluator::Evaluate;
 use crate::perturbation::Perturbation;
 use crate::scoring::ScoringMethod;
 
@@ -124,13 +124,39 @@ fn assignment_to_order(assignment: &[usize]) -> Vec<usize> {
     order
 }
 
+/// Evaluate each `(objective, order)` pair in one batch and assemble the
+/// ranked results (no early exit, so the whole list is a single submission).
+fn evaluate_orders<E: Evaluate + ?Sized>(
+    evaluator: &E,
+    scored_orders: Vec<(f64, Vec<usize>)>,
+) -> Result<Vec<OptimalPermutation>, RageError> {
+    let batch: Vec<Perturbation> = scored_orders
+        .iter()
+        .map(|(_, order)| Perturbation::Permutation(order.clone()))
+        .collect();
+    let results = evaluator.evaluate_batch(&batch);
+    let mut orders = Vec::with_capacity(scored_orders.len());
+    for ((total, order), result) in scored_orders.into_iter().zip(results) {
+        let answer = result?.answer;
+        let tau = kendall_tau(&order);
+        orders.push(OptimalPermutation {
+            order,
+            objective: total,
+            answer,
+            tau,
+        });
+    }
+    Ok(orders)
+}
+
 /// The top-`s` placements by ranked assignment enumeration (`O(s·k³)`).
 ///
 /// Each returned order is evaluated against the model (answers come from the
-/// evaluator's cache when repeated). Orders arrive best-first for
-/// [`OrderObjective::Best`] and worst-first for [`OrderObjective::Worst`].
-pub fn ranked_orders(
-    evaluator: &Evaluator,
+/// evaluator's cache when repeated); the whole ranking is submitted as one
+/// evaluation batch. Orders arrive best-first for [`OrderObjective::Best`]
+/// and worst-first for [`OrderObjective::Worst`].
+pub fn ranked_orders<E: Evaluate + ?Sized>(
+    evaluator: &E,
     config: &OptimalConfig,
     objective: OrderObjective,
 ) -> Result<Vec<OptimalPermutation>, RageError> {
@@ -146,32 +172,26 @@ pub fn ranked_orders(
         OrderObjective::Worst => k_best_assignments(&profits, config.num_orders),
     };
 
-    let mut orders = Vec::with_capacity(assignments.len());
-    for assignment in assignments {
-        let order = assignment_to_order(&assignment.assignment);
-        let answer = evaluator.answer_for(&Perturbation::Permutation(order.clone()))?;
-        let tau = kendall_tau(&order);
-        orders.push(OptimalPermutation {
-            order,
-            objective: assignment.total,
-            answer,
-            tau,
-        });
-    }
-    Ok(orders)
+    evaluate_orders(
+        evaluator,
+        assignments
+            .into_iter()
+            .map(|a| (a.total, assignment_to_order(&a.assignment)))
+            .collect(),
+    )
 }
 
 /// Convenience wrapper: the top placements ([`OrderObjective::Best`]).
-pub fn best_orders(
-    evaluator: &Evaluator,
+pub fn best_orders<E: Evaluate + ?Sized>(
+    evaluator: &E,
     config: &OptimalConfig,
 ) -> Result<Vec<OptimalPermutation>, RageError> {
     ranked_orders(evaluator, config, OrderObjective::Best)
 }
 
 /// Convenience wrapper: the bottom placements ([`OrderObjective::Worst`]).
-pub fn worst_orders(
-    evaluator: &Evaluator,
+pub fn worst_orders<E: Evaluate + ?Sized>(
+    evaluator: &E,
     config: &OptimalConfig,
 ) -> Result<Vec<OptimalPermutation>, RageError> {
     ranked_orders(evaluator, config, OrderObjective::Worst)
@@ -183,8 +203,8 @@ pub fn worst_orders(
 /// small `k`. Ties between equal-objective orders are broken lexicographically,
 /// so the *orders* may differ from the ranked enumeration's tie order while the
 /// *objectives* always agree.
-pub fn naive_orders(
-    evaluator: &Evaluator,
+pub fn naive_orders<E: Evaluate + ?Sized>(
+    evaluator: &E,
     config: &OptimalConfig,
     objective: OrderObjective,
 ) -> Result<Vec<OptimalPermutation>, RageError> {
@@ -209,24 +229,14 @@ pub fn naive_orders(
     });
     all.truncate(config.num_orders);
 
-    let mut orders = Vec::with_capacity(all.len());
-    for (total, order) in all {
-        let answer = evaluator.answer_for(&Perturbation::Permutation(order.clone()))?;
-        let tau = kendall_tau(&order);
-        orders.push(OptimalPermutation {
-            order,
-            objective: total,
-            answer,
-            tau,
-        });
-    }
-    Ok(orders)
+    evaluate_orders(evaluator, all)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::context::Context;
+    use crate::evaluator::Evaluator;
     use rage_assignment::permutations::is_permutation;
     use rage_llm::{Generation, LanguageModel, LlmInput};
     use rage_retrieval::Document;

@@ -14,7 +14,7 @@ use rage_retrieval::Searcher;
 
 use crate::context::Context;
 use crate::error::RageError;
-use crate::evaluator::Evaluator;
+use crate::evaluator::{Evaluator, ParallelEvaluator};
 use crate::prompt::PromptBuilder;
 
 /// The answer of one RAG round trip, with full provenance.
@@ -107,11 +107,69 @@ impl RagPipeline {
         })
     }
 
+    /// Retrieve and answer a whole batch of queries, submitting every prompt
+    /// to the model through one `batch_generate` call.
+    ///
+    /// Retrieval failures are reported per query; all successfully retrieved
+    /// contexts still go to the model as a single batch. Responses arrive in
+    /// query order and are element-wise identical to what
+    /// [`ask`](RagPipeline::ask) would return.
+    pub fn ask_many(&self, queries: &[&str], k: usize) -> Vec<Result<RagResponse, RageError>> {
+        // Retrieve every context first (cheap), collecting per-query errors.
+        let contexts: Vec<Result<Context, RageError>> = queries
+            .iter()
+            .map(|query| {
+                let hits = self.searcher.try_search(query, k)?;
+                if hits.is_empty() {
+                    return Err(RageError::EmptyContext {
+                        query: (*query).to_string(),
+                    });
+                }
+                Ok(Context::from_ranked(*query, &hits))
+            })
+            .collect();
+
+        // One batched inference over the successful retrievals.
+        let inputs: Vec<rage_llm::LlmInput> = contexts
+            .iter()
+            .filter_map(|c| c.as_ref().ok())
+            .map(|context| {
+                self.prompt_builder
+                    .build_input(&context.query, &context.to_source_texts())
+            })
+            .collect();
+        let mut generations = self.llm.batch_generate(&inputs).into_iter();
+
+        contexts
+            .into_iter()
+            .map(|context| {
+                let context = context?;
+                let sources = context.to_source_texts();
+                let prompt_text = self.prompt_builder.render(&context.query, &sources);
+                let generation = generations
+                    .next()
+                    .expect("batch_generate returns one generation per input");
+                Ok(RagResponse {
+                    context,
+                    prompt_text,
+                    generation,
+                })
+            })
+            .collect()
+    }
+
     /// An [`Evaluator`] for the given context, sharing this pipeline's LLM and prompt
     /// template — the entry point into the explanation searches.
     pub fn evaluator(&self, context: Context) -> Evaluator {
         Evaluator::new(Arc::clone(&self.llm), context)
             .with_prompt_builder(self.prompt_builder.clone())
+    }
+
+    /// A [`ParallelEvaluator`] over the given context: the same searches, fanned
+    /// out across `threads` worker threads with results byte-identical to the
+    /// sequential [`evaluator`](RagPipeline::evaluator).
+    pub fn parallel_evaluator(&self, context: Context, threads: usize) -> ParallelEvaluator {
+        ParallelEvaluator::new(self.evaluator(context), threads)
     }
 
     /// Convenience: retrieve, answer and build the evaluator in one step.

@@ -15,7 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::RageError;
-use crate::evaluator::Evaluator;
+use crate::evaluator::Evaluate;
 
 /// Which relevance estimator to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -30,7 +30,10 @@ pub enum ScoringMethod {
 
 impl ScoringMethod {
     /// Per-source relevance scores, in context order.
-    pub fn source_scores(&self, evaluator: &Evaluator) -> Result<Vec<f64>, RageError> {
+    pub fn source_scores<E: Evaluate + ?Sized>(
+        &self,
+        evaluator: &E,
+    ) -> Result<Vec<f64>, RageError> {
         match self {
             ScoringMethod::Attention => {
                 let generation = evaluator.full_context_generation()?;
@@ -67,6 +70,7 @@ impl ScoringMethod {
 mod tests {
     use super::*;
     use crate::context::Context;
+    use crate::evaluator::Evaluator;
     use rage_llm::model::{SimLlm, SimLlmConfig};
     use rage_retrieval::{Corpus, Document, IndexBuilder, Searcher};
     use std::sync::Arc;

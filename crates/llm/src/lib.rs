@@ -39,6 +39,7 @@
 //!
 //! * [`tokenizer`] — word-level tokenizer with a hashing vocabulary.
 //! * [`embedding`] — deterministic token and positional embeddings.
+//! * [`cache`] — the prefix/attention KV cache shared across perturbed forwards.
 //! * [`transformer`] — the attention stack and its recorded attention tensors.
 //! * [`attention`] — per-source attention aggregation (sum over layers/heads/tokens).
 //! * [`position_bias`] — parametric context-position priors ("lost in the middle" et al.).
@@ -69,6 +70,7 @@
 #![warn(missing_docs)]
 
 pub mod attention;
+pub mod cache;
 pub mod embedding;
 pub mod extraction;
 pub mod knowledge;
@@ -78,6 +80,8 @@ pub mod tokenizer;
 pub mod transformer;
 
 use serde::{Deserialize, Serialize};
+
+pub use cache::{CacheStats, PrefixCache};
 
 /// One context source as seen by the LLM: an identifier and its text.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -163,6 +167,18 @@ impl Generation {
 pub trait LanguageModel: Send + Sync {
     /// Produce an answer (and attention read-out) for the given question and context.
     fn generate(&self, input: &LlmInput) -> Generation;
+
+    /// Produce one generation per input, in order.
+    ///
+    /// This is the batched entry point used by batch evaluators and pipelines.
+    /// Implementations **must** return exactly what element-wise
+    /// [`generate`](LanguageModel::generate) calls would return — batching is
+    /// a throughput lever (shared prefix state, vectorised forwards, request
+    /// coalescing against a remote backend), never a semantic one. The default
+    /// implementation simply maps `generate`.
+    fn batch_generate(&self, inputs: &[LlmInput]) -> Vec<Generation> {
+        inputs.iter().map(|input| self.generate(input)).collect()
+    }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &str {

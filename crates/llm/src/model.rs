@@ -9,8 +9,10 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::attention::aggregate_question_to_source_attention;
+use crate::cache::PrefixCache;
 use crate::extraction::{classify_question, extract_candidates, QuestionKind};
 use crate::knowledge::PriorKnowledge;
 use crate::position_bias::PositionBiasProfile;
@@ -92,6 +94,7 @@ pub struct SimLlm {
     config: SimLlmConfig,
     tokenizer: SimTokenizer,
     transformer: Transformer,
+    prefix_cache: Option<Arc<PrefixCache>>,
 }
 
 impl SimLlm {
@@ -102,7 +105,27 @@ impl SimLlm {
             config,
             tokenizer: SimTokenizer::new(),
             transformer,
+            prefix_cache: None,
         }
+    }
+
+    /// Attach a [`PrefixCache`] so forward passes reuse per-`(token, position)`
+    /// embedding and layer-0 attention K/Q state across perturbed prompts.
+    ///
+    /// Caching never changes outputs (see the `cache` module invariants); it
+    /// only trades memory for recomputation. The cache entries are functions
+    /// of this model's seed and dimensions, so **never** share one cache
+    /// between models built from different [`TransformerConfig`]s. Cloning the
+    /// model shares the cache handle, which is the intended way to hand the
+    /// same model to multiple worker threads.
+    pub fn with_prefix_cache(mut self, cache: Arc<PrefixCache>) -> Self {
+        self.prefix_cache = Some(cache);
+        self
+    }
+
+    /// The attached prefix cache, if any.
+    pub fn prefix_cache(&self) -> Option<&Arc<PrefixCache>> {
+        self.prefix_cache.as_ref()
     }
 
     /// The configuration in use.
@@ -118,7 +141,9 @@ impl SimLlm {
         if k == 0 {
             return (Vec::new(), prompt.len());
         }
-        let record = self.transformer.forward(&prompt);
+        let record = self
+            .transformer
+            .forward_cached(&prompt, self.prefix_cache.as_deref());
         let content = aggregate_question_to_source_attention(&record, &prompt).normalised();
 
         let mut effective: Vec<f64> = (0..k)

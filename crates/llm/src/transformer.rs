@@ -8,8 +8,11 @@
 //! softmax per query position, hidden states are updated through a residual mix of the
 //! attended values, and every layer's per-head attention matrix is recorded.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
+use crate::cache::PrefixCache;
 use crate::embedding::{dot, normalize, Embedder, EmbeddingConfig};
 use crate::tokenizer::TokenizedPrompt;
 
@@ -170,7 +173,26 @@ impl Transformer {
     }
 
     /// Run the forward pass over a tokenised prompt and record every attention matrix.
+    ///
+    /// Equivalent to [`Transformer::forward_cached`] with no cache.
     pub fn forward(&self, prompt: &TokenizedPrompt) -> AttentionRecord {
+        self.forward_cached(prompt, None)
+    }
+
+    /// Run the forward pass, reusing per-`(token, position)` state from a
+    /// [`PrefixCache`] when one is supplied.
+    ///
+    /// Only state that is a pure function of `(token id, position)` is taken
+    /// from the cache — the input embeddings and the layer-0 per-head
+    /// query/key projections (at layer 0 the hidden state *is* the input
+    /// embedding). Deeper layers depend on the whole sequence and are always
+    /// recomputed, so the returned [`AttentionRecord`] is bit-identical to an
+    /// uncached forward pass.
+    pub fn forward_cached(
+        &self,
+        prompt: &TokenizedPrompt,
+        cache: Option<&PrefixCache>,
+    ) -> AttentionRecord {
         let n = prompt.len();
         if n == 0 {
             return AttentionRecord {
@@ -178,9 +200,19 @@ impl Transformer {
                 seq_len: 0,
             };
         }
-        let mut hidden: Vec<Vec<f64>> = self
-            .embedder
-            .embed_sequence(&prompt.tokens.iter().map(|t| t.id).collect::<Vec<_>>());
+        let mut hidden: Vec<Vec<f64>> = match cache {
+            Some(cache) => prompt
+                .tokens
+                .iter()
+                .enumerate()
+                .map(|(pos, token)| {
+                    (*cache.embedding(token.id, pos, || self.embedder.embed(token.id, pos))).clone()
+                })
+                .collect(),
+            None => self
+                .embedder
+                .embed_sequence(&prompt.tokens.iter().map(|t| t.id).collect::<Vec<_>>()),
+        };
 
         let mut layers = Vec::with_capacity(self.config.layers);
         for layer in 0..self.config.layers {
@@ -189,10 +221,24 @@ impl Transformer {
             let mut mixed: Vec<Vec<f64>> = vec![vec![0.0; self.config.dim]; n];
 
             for head in 0..self.config.heads {
-                let projected: Vec<Vec<f64>> = hidden
-                    .iter()
-                    .map(|h| self.project(layer, head, h))
-                    .collect();
+                // Shared Q/K state: at layer 0 the projection input is the
+                // (token, position) embedding, so the projected vector can be
+                // reused across prompts via the prefix cache.
+                let projected: Vec<Arc<Vec<f64>>> = match cache {
+                    Some(cache) if layer == 0 => hidden
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, h)| {
+                            cache.layer0_projection(head, prompt.tokens[pos].id, pos, || {
+                                self.project(layer, head, h)
+                            })
+                        })
+                        .collect(),
+                    _ => hidden
+                        .iter()
+                        .map(|h| Arc::new(self.project(layer, head, h)))
+                        .collect(),
+                };
                 let head_dim = projected[0].len() as f64;
                 let scale = 1.0 / (head_dim.sqrt() * self.config.temperature);
 
@@ -341,6 +387,32 @@ mod tests {
             matching > unrelated,
             "matching source got {matching}, unrelated got {unrelated}"
         );
+    }
+
+    #[test]
+    fn cached_forward_is_bit_identical_to_uncached() {
+        let tok = SimTokenizer::new();
+        let transformer = Transformer::new(TransformerConfig::default());
+        let cache = PrefixCache::default();
+        for sources in [
+            vec![
+                SourceText::new("a", "federer leads match wins"),
+                SourceText::new("b", "djokovic holds the most slams"),
+            ],
+            // Swapped order and a truncated context reuse the question prefix.
+            vec![
+                SourceText::new("b", "djokovic holds the most slams"),
+                SourceText::new("a", "federer leads match wins"),
+            ],
+            vec![SourceText::new("a", "federer leads match wins")],
+        ] {
+            let prompt = tok.tokenize_prompt(&LlmInput::new("who wins the most", sources));
+            let plain = transformer.forward(&prompt);
+            let cached = transformer.forward_cached(&prompt, Some(&cache));
+            assert_eq!(plain, cached);
+        }
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "prefix reuse must produce hits");
     }
 
     #[test]

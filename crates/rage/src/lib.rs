@@ -61,9 +61,11 @@ pub mod prelude {
     pub use rage_core::optimal::{best_orders, naive_orders, worst_orders, OptimalConfig};
     pub use rage_core::scoring::ScoringMethod;
     pub use rage_core::{
-        Context, Evaluator, Perturbation, RagPipeline, RagResponse, RageError, RageReport,
+        CacheStats, Context, Evaluate, Evaluator, ParallelEvaluator, Perturbation, RagPipeline,
+        RagResponse, RageError, RageReport,
     };
     pub use rage_datasets::Scenario;
+    pub use rage_llm::cache::PrefixCache;
     pub use rage_llm::model::{SimLlm, SimLlmConfig};
     pub use rage_llm::position_bias::PositionBiasProfile;
     pub use rage_llm::{Generation, LanguageModel, LlmInput, SourceText};

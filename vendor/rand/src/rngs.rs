@@ -27,3 +27,52 @@ impl SeedableRng for StdRng {
         Self { state: seed }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden-value pin of the raw SplitMix64 stream. Everything downstream —
+    /// permutation sampling, synthetic corpora, report insight samples — is
+    /// deterministic *because* this stream is; if a refactor changes these
+    /// constants, every seeded artefact in the workspace silently changes too.
+    /// The seed-0 values are the published SplitMix64 reference vector.
+    #[test]
+    fn splitmix64_stream_matches_golden_values() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(rng.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(rng.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(rng.next_u64(), 0x06c4_5d18_8009_454f);
+        assert_eq!(rng.next_u64(), 0xf88b_b8a8_724c_81ec);
+
+        let mut rng = StdRng::seed_from_u64(42);
+        assert_eq!(rng.next_u64(), 0xbdd7_3226_2feb_6e95);
+        assert_eq!(rng.next_u64(), 0x28ef_e333_b266_f103);
+        assert_eq!(rng.next_u64(), 0x4752_6757_130f_9f52);
+        assert_eq!(rng.next_u64(), 0x581c_e1ff_0e4a_e394);
+    }
+
+    /// `next_u32` is pinned as the upper half of `next_u64`.
+    #[test]
+    fn next_u32_is_the_upper_half() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..8 {
+            let hi = (a.next_u64() >> 32) as u32;
+            assert_eq!(b.next_u32(), hi);
+        }
+    }
+
+    /// Identical seeds give identical streams; different seeds diverge.
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(123);
+        let mut b = StdRng::seed_from_u64(123);
+        let mut c = StdRng::seed_from_u64(124);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+}
