@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use rage_retrieval::json::JsonValue;
+use rage_json::JsonValue;
 
 fn load_means(path: &str) -> Result<BTreeMap<String, f64>, String> {
     let raw = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;

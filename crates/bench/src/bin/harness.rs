@@ -14,7 +14,7 @@ use rage_bench::workloads::{evaluator_for, parallel_evaluator_for};
 use rage_core::explanation::ReportConfig;
 use rage_core::{Evaluate, RageReport};
 use rage_datasets::{big_three, timeline, us_open};
-use rage_retrieval::json::JsonValue;
+use rage_json::JsonValue;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -31,7 +31,7 @@
 
 use std::time::{Duration, Instant};
 
-use rage_retrieval::json::JsonValue;
+use rage_json::JsonValue;
 
 pub use std::hint::black_box;
 

@@ -324,13 +324,8 @@ impl Insights {
         }
         rules.sort_by(|a, b| {
             b.confidence
-                .partial_cmp(&a.confidence)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| {
-                    b.support
-                        .partial_cmp(&a.support)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                })
+                .total_cmp(&a.confidence)
+                .then_with(|| b.support.total_cmp(&a.support))
                 .then_with(|| a.source.cmp(&b.source))
         });
 

@@ -220,12 +220,10 @@ pub fn naive_orders<E: Evaluate + ?Sized>(
         .collect();
     all.sort_by(|a, b| {
         let primary = match objective {
-            OrderObjective::Best => b.0.partial_cmp(&a.0),
-            OrderObjective::Worst => a.0.partial_cmp(&b.0),
+            OrderObjective::Best => b.0.total_cmp(&a.0),
+            OrderObjective::Worst => a.0.total_cmp(&b.0),
         };
-        primary
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then_with(|| a.1.cmp(&b.1))
+        primary.then_with(|| a.1.cmp(&b.1))
     });
     all.truncate(config.num_orders);
 

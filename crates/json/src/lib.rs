@@ -1,0 +1,641 @@
+//! # rage-json
+//!
+//! Minimal JSON reading/writing shared across the RAGE workspace.
+//!
+//! The workspace has no external JSON dependency, so this crate implements the
+//! subset every consumer needs from scratch: a full recursive value parser
+//! ([`JsonValue::parse`]), a compact renderer ([`JsonValue::render`]) and
+//! string escaping ([`write_json_string`]). It backs the JSONL corpus
+//! interchange format in `rage-retrieval`, the machine-readable bench/harness
+//! outputs in `rage-bench`, and the versioned structured report format in
+//! `rage-report`.
+//!
+//! It is *not* a general-purpose JSON library: numbers are kept as `f64`
+//! throughout (integers render without a decimal point as long as they are
+//! exactly representable), and object member lookup is linear.
+//!
+//! ## Non-finite numbers
+//!
+//! JSON has no representation for `NaN` or `±inf`. Rendering a
+//! [`JsonValue::Number`] holding a non-finite value produces `null` — a
+//! documented lossy mapping that keeps every rendered document parseable
+//! (by this crate's own parser and any other) instead of silently emitting
+//! invalid JSON.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, kept as `f64`.
+    Number(f64),
+    /// A string literal.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; insertion order is preserved for rendering, lookup is linear.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// A parse failure with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// 0-based byte offset where parsing failed.
+    pub offset: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl JsonValue {
+    /// Parse a complete JSON document; trailing non-whitespace is an error.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value()?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// The string content, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content, if this value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this value is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this value is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number holding one
+    /// exactly (no fractional part, in `usize` range).
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            // `usize::MAX as f64` rounds up to 2^64, which is itself out of
+            // range — hence the strict bound (every representable f64 below
+            // it fits).
+            JsonValue::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n < usize::MAX as f64 => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, JsonValue::Null)
+    }
+
+    /// Member lookup, if this value is an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// An object's string-valued members as a map (non-string members skipped).
+    pub fn string_map(&self) -> BTreeMap<String, String> {
+        let mut map = BTreeMap::new();
+        if let JsonValue::Object(members) = self {
+            for (key, value) in members {
+                if let JsonValue::String(s) = value {
+                    map.insert(key.clone(), s.clone());
+                }
+            }
+        }
+        map
+    }
+
+    /// Render the value as compact JSON.
+    ///
+    /// The output always parses back (`parse(render(v))` succeeds); non-finite
+    /// numbers come back as [`JsonValue::Null`] (see the crate docs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if !n.is_finite() {
+                    // JSON cannot express NaN/±inf; `null` keeps the document valid.
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 1e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            JsonValue::String(s) => write_json_string(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, key);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Append `s` as a quoted, escaped JSON string literal.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum container-nesting depth [`JsonValue::parse`] accepts.
+///
+/// The parser is recursive-descent, so without a bound an adversarial input
+/// like 100k `[`s would overflow the stack (an abort, not an error). Real
+/// documents in this workspace nest single digits deep; 128 leaves two
+/// orders of magnitude of headroom while keeping the recursion trivially
+/// stack-safe.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.parse_nested(Parser::parse_object),
+            Some(b'[') => self.parse_nested(Parser::parse_array),
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_nested(
+        &mut self,
+        parse: fn(&mut Self) -> Result<JsonValue, JsonError>,
+    ) -> Result<JsonValue, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        self.depth += 1;
+        let value = parse(self);
+        self.depth -= 1;
+        value
+    }
+
+    fn parse_literal(&mut self, literal: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{literal}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.error("invalid number"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let code = self.parse_hex4()?;
+                            // Decode surrogate pairs; lone surrogates are an error.
+                            let ch = if (0xD800..0xDC00).contains(&code) {
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid unicode escape"))?
+                            };
+                            out.push(ch);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.error("control character in string")),
+                Some(_) => {
+                    // Copy one complete UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        // Called with `pos` on the first hex digit (after consuming 'u').
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated unicode escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(text, 16).map_err(|_| self.error("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_object() {
+        let value = JsonValue::parse(r#"{"id": "d1", "n": 3, "ok": true, "x": null}"#).unwrap();
+        assert_eq!(value.get("id").and_then(JsonValue::as_str), Some("d1"));
+        assert_eq!(value.get("n"), Some(&JsonValue::Number(3.0)));
+        assert_eq!(value.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(value.get("x"), Some(&JsonValue::Null));
+        assert_eq!(value.get("missing"), None);
+    }
+
+    #[test]
+    fn parses_nested_objects_and_arrays() {
+        let value =
+            JsonValue::parse(r#"{"fields": {"year": "2023"}, "tags": ["a", "b"]}"#).unwrap();
+        let fields = value.get("fields").unwrap();
+        assert_eq!(fields.get("year").and_then(JsonValue::as_str), Some("2023"));
+        assert_eq!(
+            value.get("tags"),
+            Some(&JsonValue::Array(vec![
+                JsonValue::String("a".into()),
+                JsonValue::String("b".into())
+            ]))
+        );
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "line\nbreak \"quoted\" back\\slash tab\t end";
+        let mut rendered = String::new();
+        write_json_string(&mut rendered, original);
+        let parsed = JsonValue::parse(&rendered).unwrap();
+        assert_eq!(parsed.as_str(), Some(original));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let parsed = JsonValue::parse(r#""café 🎾""#).unwrap();
+        assert_eq!(parsed.as_str(), Some("café 🎾"));
+    }
+
+    #[test]
+    fn non_ascii_passes_through() {
+        let value = JsonValue::parse(r#"{"t": "Świątek 🎾"}"#).unwrap();
+        assert_eq!(
+            value.get("t").and_then(JsonValue::as_str),
+            Some("Świątek 🎾")
+        );
+        let rendered = value.render();
+        assert_eq!(JsonValue::parse(&rendered).unwrap(), value);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"}",
+            "{\"a\": }",
+            "[1,",
+            "\"open",
+            "tru",
+            "01x",
+            "{} trailing",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_parse_and_render() {
+        assert_eq!(
+            JsonValue::parse("-12.5e1").unwrap(),
+            JsonValue::Number(-125.0)
+        );
+        assert_eq!(JsonValue::Number(42.0).render(), "42");
+        assert_eq!(JsonValue::Number(0.5).render(), "0.5");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_as_null() {
+        // Regression: `format!("{n}")` used to emit the literal tokens `NaN`
+        // and `inf`, which this module's own parser rejects.
+        assert_eq!(JsonValue::Number(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Number(f64::INFINITY).render(), "null");
+        assert_eq!(JsonValue::Number(f64::NEG_INFINITY).render(), "null");
+
+        // Any document containing non-finite numbers still round-trips as
+        // valid JSON, with the affected members mapped to null.
+        let doc = JsonValue::Object(vec![
+            ("ok".into(), JsonValue::Number(1.5)),
+            ("bad".into(), JsonValue::Number(f64::NAN)),
+            (
+                "nested".into(),
+                JsonValue::Array(vec![JsonValue::Number(f64::INFINITY)]),
+            ),
+        ]);
+        let reparsed = JsonValue::parse(&doc.render()).unwrap();
+        assert_eq!(reparsed.get("ok"), Some(&JsonValue::Number(1.5)));
+        assert_eq!(reparsed.get("bad"), Some(&JsonValue::Null));
+        assert_eq!(
+            reparsed.get("nested"),
+            Some(&JsonValue::Array(vec![JsonValue::Null]))
+        );
+    }
+
+    #[test]
+    fn float_precision_round_trips() {
+        // Rust's shortest-representation float formatting guarantees that
+        // every finite f64 survives render → parse bit-exactly.
+        for n in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e308, -2.5e-17, 0.47] {
+            let rendered = JsonValue::Number(n).render();
+            assert_eq!(JsonValue::parse(&rendered).unwrap(), JsonValue::Number(n));
+        }
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Within the bound: parses fine.
+        let depth_ok = MAX_DEPTH - 1;
+        let ok = "[".repeat(depth_ok) + "1" + &"]".repeat(depth_ok);
+        assert!(JsonValue::parse(&ok).is_ok());
+        // An adversarial 100k-bracket document returns a JsonError (not a
+        // stack-overflow abort).
+        let bomb = "[".repeat(100_000);
+        let err = JsonValue::parse(&bomb).unwrap_err();
+        assert!(err.message.contains("nesting too deep"), "{err}");
+        // Mixed object/array nesting hits the same bound.
+        let mixed = "{\"a\":[".repeat(MAX_DEPTH) + "1";
+        assert!(JsonValue::parse(&mixed)
+            .unwrap_err()
+            .message
+            .contains("nesting too deep"));
+    }
+
+    #[test]
+    fn as_usize_rejects_out_of_range_values() {
+        // 2^64 == usize::MAX as f64 after rounding; it must not saturate.
+        assert_eq!(JsonValue::Number(18446744073709551616.0).as_usize(), None);
+        assert_eq!(JsonValue::Number(1e300).as_usize(), None);
+        // The largest exactly-representable in-range integer still works.
+        let max_ok = (u64::MAX - 2047) as f64; // 2^64 - 2048
+        assert_eq!(JsonValue::Number(max_ok).as_usize(), Some(max_ok as usize));
+    }
+
+    #[test]
+    fn accessors_discriminate_types() {
+        assert_eq!(JsonValue::Number(2.0).as_f64(), Some(2.0));
+        assert_eq!(JsonValue::Number(2.0).as_usize(), Some(2));
+        assert_eq!(JsonValue::Number(2.5).as_usize(), None);
+        assert_eq!(JsonValue::Number(-1.0).as_usize(), None);
+        assert_eq!(JsonValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(JsonValue::Null.as_f64(), None);
+        assert!(JsonValue::Null.is_null());
+        assert!(!JsonValue::Bool(false).is_null());
+        let arr = JsonValue::Array(vec![JsonValue::Null]);
+        assert_eq!(arr.as_array().map(<[JsonValue]>::len), Some(1));
+        assert_eq!(arr.as_str(), None);
+    }
+
+    #[test]
+    fn string_map_extracts_string_members() {
+        let value = JsonValue::parse(r#"{"a": "x", "b": 3, "c": "y"}"#).unwrap();
+        let map = value.string_map();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["a"], "x");
+        assert_eq!(map["c"], "y");
+    }
+
+    #[test]
+    fn render_escapes_object_keys() {
+        let value = JsonValue::Object(vec![(
+            "we\"ird".to_string(),
+            JsonValue::String("v".to_string()),
+        )]);
+        let rendered = value.render();
+        assert_eq!(JsonValue::parse(&rendered).unwrap(), value);
+    }
+}

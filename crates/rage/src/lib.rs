@@ -45,7 +45,7 @@ pub use rage_core as explain;
 pub use rage_datasets as datasets;
 /// The deterministic simulated LLM substrate.
 pub use rage_llm as llm;
-/// Report rendering (markdown).
+/// Report rendering (markdown, versioned JSON, HTML) and diffing.
 pub use rage_report as report;
 /// The BM25 retrieval substrate.
 pub use rage_retrieval as retrieval;
@@ -69,7 +69,7 @@ pub mod prelude {
     pub use rage_llm::model::{SimLlm, SimLlmConfig};
     pub use rage_llm::position_bias::PositionBiasProfile;
     pub use rage_llm::{Generation, LanguageModel, LlmInput, SourceText};
-    pub use rage_report::render_markdown;
+    pub use rage_report::{diff, from_json, render_html, render_markdown, to_json, ReportDiff};
     pub use rage_retrieval::{Corpus, Document, IndexBuilder, Searcher};
 }
 

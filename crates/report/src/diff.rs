@@ -1,0 +1,416 @@
+//! Diffing two explanation reports.
+//!
+//! [`diff`] compares two [`RageReport`]s — typically two CI artifacts of the
+//! same scenario at different commits, or the same question over two corpus
+//! revisions — and reduces the comparison to the facts a reviewer cares
+//! about: did any answer flip, did the citation set change, which insight
+//! rules appeared or disappeared, and how did the evaluation cost move.
+//! [`ReportDiff`] renders as markdown ([`ReportDiff::render_markdown`]) and
+//! as JSON ([`ReportDiff::to_json`]).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use rage_core::RageReport;
+use rage_json::JsonValue;
+
+use crate::escape_cell;
+
+/// A `(before, after)` pair of values that differ between two reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flip {
+    /// The value in the first (baseline) report.
+    pub before: String,
+    /// The value in the second report.
+    pub after: String,
+}
+
+/// The structured comparison of two reports, produced by [`diff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportDiff {
+    /// Set when the two reports explain different questions (the rest of the
+    /// diff is still computed, but usually only cost deltas are meaningful).
+    pub question_changed: Option<Flip>,
+    /// Set when the full-context answer differs.
+    pub answer_flip: Option<Flip>,
+    /// Set when the empty-context (prior) answer differs.
+    pub empty_answer_flip: Option<Flip>,
+    /// Doc ids retrieved in the second report but not the first.
+    pub context_added: Vec<String>,
+    /// Doc ids retrieved in the first report but not the second.
+    pub context_removed: Vec<String>,
+    /// Cited doc ids (top-down counterfactual) gained by the second report.
+    pub citations_added: Vec<String>,
+    /// Cited doc ids lost by the second report.
+    pub citations_removed: Vec<String>,
+    /// Set when order sensitivity appeared or disappeared
+    /// (`before`/`after` are `"order-sensitive"` / `"order-stable"`).
+    pub order_sensitivity_changed: Option<Flip>,
+    /// Insight rules present only in the second report, rendered as
+    /// `"<doc_id> present → <answer>"` keys.
+    pub rules_added: Vec<String>,
+    /// Insight rules present only in the first report.
+    pub rules_removed: Vec<String>,
+    /// `b.evaluations - a.evaluations`.
+    pub evaluations_delta: i64,
+    /// `b.llm_calls - a.llm_calls`.
+    pub llm_calls_delta: i64,
+}
+
+impl ReportDiff {
+    /// Whether the two reports agree on every compared dimension
+    /// (cost deltas included).
+    pub fn is_empty(&self) -> bool {
+        self.question_changed.is_none()
+            && self.answer_flip.is_none()
+            && self.empty_answer_flip.is_none()
+            && self.context_added.is_empty()
+            && self.context_removed.is_empty()
+            && self.citations_added.is_empty()
+            && self.citations_removed.is_empty()
+            && self.order_sensitivity_changed.is_none()
+            && self.rules_added.is_empty()
+            && self.rules_removed.is_empty()
+            && self.evaluations_delta == 0
+            && self.llm_calls_delta == 0
+    }
+
+    /// Render the diff as markdown (one `±`-style section per changed
+    /// dimension; a single line when nothing changed).
+    pub fn render_markdown(&self) -> String {
+        let mut md = String::new();
+        let _ = writeln!(md, "# Report diff\n");
+        if self.is_empty() {
+            let _ = writeln!(md, "No differences.");
+            return md;
+        }
+
+        if let Some(flip) = &self.question_changed {
+            let _ = writeln!(
+                md,
+                "**Question changed:** {} → {}\n",
+                escape_cell(&flip.before),
+                escape_cell(&flip.after)
+            );
+        }
+        if let Some(flip) = &self.answer_flip {
+            let _ = writeln!(
+                md,
+                "**Answer flip:** **{}** → **{}**\n",
+                escape_cell(&flip.before),
+                escape_cell(&flip.after)
+            );
+        }
+        if let Some(flip) = &self.empty_answer_flip {
+            let _ = writeln!(
+                md,
+                "**Answer without context flip:** {} → {}\n",
+                escape_cell(&flip.before),
+                escape_cell(&flip.after)
+            );
+        }
+        if !self.context_added.is_empty() || !self.context_removed.is_empty() {
+            let _ = writeln!(md, "## Retrieved context\n");
+            for id in &self.context_added {
+                let _ = writeln!(md, "- added `{}`", escape_cell(id));
+            }
+            for id in &self.context_removed {
+                let _ = writeln!(md, "- removed `{}`", escape_cell(id));
+            }
+            md.push('\n');
+        }
+        if !self.citations_added.is_empty() || !self.citations_removed.is_empty() {
+            let _ = writeln!(md, "## Counterfactual citations\n");
+            for id in &self.citations_added {
+                let _ = writeln!(md, "- now cites `{}`", escape_cell(id));
+            }
+            for id in &self.citations_removed {
+                let _ = writeln!(md, "- no longer cites `{}`", escape_cell(id));
+            }
+            md.push('\n');
+        }
+        if let Some(flip) = &self.order_sensitivity_changed {
+            let _ = writeln!(
+                md,
+                "**Order sensitivity:** {} → {}\n",
+                flip.before, flip.after
+            );
+        }
+        if !self.rules_added.is_empty() || !self.rules_removed.is_empty() {
+            let _ = writeln!(md, "## Insight rules\n");
+            for rule in &self.rules_added {
+                let _ = writeln!(md, "- new rule: {}", escape_cell(rule));
+            }
+            for rule in &self.rules_removed {
+                let _ = writeln!(md, "- dropped rule: {}", escape_cell(rule));
+            }
+            md.push('\n');
+        }
+        if self.evaluations_delta != 0 || self.llm_calls_delta != 0 {
+            let _ = writeln!(
+                md,
+                "## Evaluation cost\n\n\
+                 | metric | delta |\n|--------|-------|\n\
+                 | evaluations | {:+} |\n| LLM calls | {:+} |\n",
+                self.evaluations_delta, self.llm_calls_delta
+            );
+        }
+        md
+    }
+
+    /// Serialize the diff as JSON (schema-versioned like the report itself).
+    pub fn to_json(&self) -> JsonValue {
+        fn flip(value: &Option<Flip>) -> JsonValue {
+            match value {
+                Some(f) => JsonValue::Object(vec![
+                    ("before".into(), JsonValue::String(f.before.clone())),
+                    ("after".into(), JsonValue::String(f.after.clone())),
+                ]),
+                None => JsonValue::Null,
+            }
+        }
+        fn strings(values: &[String]) -> JsonValue {
+            JsonValue::Array(
+                values
+                    .iter()
+                    .map(|v| JsonValue::String(v.clone()))
+                    .collect(),
+            )
+        }
+        JsonValue::Object(vec![
+            ("schema_version".into(), JsonValue::Number(1.0)),
+            (
+                "kind".into(),
+                JsonValue::String("rage-report-diff".to_string()),
+            ),
+            ("identical".into(), JsonValue::Bool(self.is_empty())),
+            ("question_changed".into(), flip(&self.question_changed)),
+            ("answer_flip".into(), flip(&self.answer_flip)),
+            ("empty_answer_flip".into(), flip(&self.empty_answer_flip)),
+            ("context_added".into(), strings(&self.context_added)),
+            ("context_removed".into(), strings(&self.context_removed)),
+            ("citations_added".into(), strings(&self.citations_added)),
+            ("citations_removed".into(), strings(&self.citations_removed)),
+            (
+                "order_sensitivity_changed".into(),
+                flip(&self.order_sensitivity_changed),
+            ),
+            ("rules_added".into(), strings(&self.rules_added)),
+            ("rules_removed".into(), strings(&self.rules_removed)),
+            (
+                "evaluations_delta".into(),
+                JsonValue::Number(self.evaluations_delta as f64),
+            ),
+            (
+                "llm_calls_delta".into(),
+                JsonValue::Number(self.llm_calls_delta as f64),
+            ),
+        ])
+    }
+}
+
+fn flip_of(before: &str, after: &str) -> Option<Flip> {
+    (before != after).then(|| Flip {
+        before: before.to_string(),
+        after: after.to_string(),
+    })
+}
+
+fn set_delta(a: &BTreeSet<String>, b: &BTreeSet<String>) -> (Vec<String>, Vec<String>) {
+    let added = b.difference(a).cloned().collect();
+    let removed = a.difference(b).cloned().collect();
+    (added, removed)
+}
+
+fn rule_keys(report: &RageReport) -> BTreeSet<String> {
+    report
+        .insights
+        .rules
+        .iter()
+        .map(|rule| {
+            format!(
+                "`{}` {} → {}",
+                rule.doc_id,
+                if rule.present { "present" } else { "absent" },
+                rule.answer
+            )
+        })
+        .collect()
+}
+
+/// Compare two reports (`a` = baseline, `b` = candidate).
+pub fn diff(a: &RageReport, b: &RageReport) -> ReportDiff {
+    let context_a: BTreeSet<String> = a.context.sources.iter().map(|s| s.doc_id.clone()).collect();
+    let context_b: BTreeSet<String> = b.context.sources.iter().map(|s| s.doc_id.clone()).collect();
+    let (context_added, context_removed) = set_delta(&context_a, &context_b);
+
+    let citations_a: BTreeSet<String> = a.citations().iter().map(|s| s.to_string()).collect();
+    let citations_b: BTreeSet<String> = b.citations().iter().map(|s| s.to_string()).collect();
+    let (citations_added, citations_removed) = set_delta(&citations_a, &citations_b);
+
+    let (rules_added, rules_removed) = set_delta(&rule_keys(a), &rule_keys(b));
+
+    let sensitivity_label = |sensitive: bool| {
+        if sensitive {
+            "order-sensitive"
+        } else {
+            "order-stable"
+        }
+    };
+
+    ReportDiff {
+        question_changed: flip_of(&a.question, &b.question),
+        answer_flip: flip_of(&a.full_context_answer, &b.full_context_answer),
+        empty_answer_flip: flip_of(&a.empty_context_answer, &b.empty_context_answer),
+        context_added,
+        context_removed,
+        citations_added,
+        citations_removed,
+        order_sensitivity_changed: flip_of(
+            sensitivity_label(a.order_sensitive()),
+            sensitivity_label(b.order_sensitive()),
+        ),
+        rules_added,
+        rules_removed,
+        evaluations_delta: b.evaluations as i64 - a.evaluations as i64,
+        llm_calls_delta: b.llm_calls as i64 - a.llm_calls as i64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use rage_core::explanation::ReportConfig;
+    use rage_core::{Context, Evaluator, RageReport};
+    use rage_llm::SourceText;
+    use rage_llm::{Generation, LanguageModel, LlmInput};
+    use rage_retrieval::Document;
+    use std::sync::Arc;
+
+    /// An LLM that parrots a forced answer unless the context is empty.
+    struct ForcedAnswerLlm(String);
+
+    impl LanguageModel for ForcedAnswerLlm {
+        fn generate(&self, input: &LlmInput) -> Generation {
+            let answer = if input.sources.is_empty() {
+                "nothing".to_string()
+            } else if input.sources.iter().any(|s: &SourceText| s.id == "decider") {
+                self.0.clone()
+            } else {
+                "fallback".to_string()
+            };
+            Generation {
+                answer: answer.clone(),
+                text: answer,
+                source_attention: vec![1.0; input.sources.len()],
+                prompt_tokens: 1,
+            }
+        }
+    }
+
+    fn forced_report(answer: &str) -> RageReport {
+        let documents = [
+            Document::new("decider", "", "the deciding source"),
+            Document::new("other", "", "an inert source"),
+        ];
+        let context = Context::from_documents("who?", &documents);
+        let evaluator = Evaluator::new(Arc::new(ForcedAnswerLlm(answer.to_string())), context);
+        RageReport::generate(&evaluator, &ReportConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn identical_reports_diff_empty() {
+        let scenario = scenarios::scenario_by_name("us_open").unwrap();
+        let report = scenarios::report_for(&scenario, &ReportConfig::default()).unwrap();
+        let d = diff(&report, &report);
+        assert!(d.is_empty());
+        assert!(d.render_markdown().contains("No differences."));
+        assert_eq!(d.to_json().get("identical"), Some(&JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn forced_answer_flip_is_reported_with_citation_delta() {
+        let a = forced_report("Alice Archer");
+        let b = forced_report("Boris Blake");
+        let d = diff(&a, &b);
+        assert_eq!(
+            d.answer_flip,
+            Some(Flip {
+                before: "Alice Archer".into(),
+                after: "Boris Blake".into()
+            })
+        );
+        let md = d.render_markdown();
+        assert!(md.contains("Answer flip"));
+        assert!(md.contains("Alice Archer"));
+        assert!(md.contains("Boris Blake"));
+        // The rule churn follows the answers: each report's rules mention its
+        // own forced answer only.
+        assert!(d.rules_added.iter().all(|r| !r.contains("alice")));
+    }
+
+    #[test]
+    fn citation_delta_tracks_the_deciding_source() {
+        // Same forced answer, but different context membership → context and
+        // citation sets differ.
+        let a = forced_report("Alice Archer");
+        let documents = [
+            Document::new("decider", "", "the deciding source"),
+            Document::new("replacement", "", "a different inert source"),
+        ];
+        let context = Context::from_documents("who?", &documents);
+        let evaluator = Evaluator::new(
+            Arc::new(ForcedAnswerLlm("Alice Archer".to_string())),
+            context,
+        );
+        let b = RageReport::generate(&evaluator, &ReportConfig::default()).unwrap();
+        let d = diff(&a, &b);
+        assert_eq!(d.context_added, vec!["replacement".to_string()]);
+        assert_eq!(d.context_removed, vec!["other".to_string()]);
+        assert!(d.answer_flip.is_none());
+    }
+
+    #[test]
+    fn diff_json_round_trips_through_the_renderer() {
+        let a = forced_report("Alice Archer");
+        let b = forced_report("Boris Blake");
+        let value = diff(&a, &b).to_json();
+        let reparsed = JsonValue::parse(&value.render()).unwrap();
+        assert_eq!(reparsed, value);
+        assert_eq!(
+            reparsed.get("kind").and_then(JsonValue::as_str),
+            Some("rage-report-diff")
+        );
+    }
+
+    #[test]
+    fn hostile_values_are_escaped_in_diff_markdown() {
+        let mut d = diff(
+            &forced_report("Alice Archer"),
+            &forced_report("Alice Archer"),
+        );
+        d.answer_flip = Some(Flip {
+            before: "evil|pipe".into(),
+            after: "evil\nnewline".into(),
+        });
+        d.context_added = vec!["evil|doc".into()];
+        let md = d.render_markdown();
+        assert!(md.contains("evil\\|pipe"), "{md}");
+        assert!(md.contains("evil<br>newline"), "{md}");
+        assert!(md.contains("- added `evil\\|doc`"), "{md}");
+    }
+
+    #[test]
+    fn cost_deltas_are_signed() {
+        let mut a = forced_report("Alice Archer");
+        let b = forced_report("Alice Archer");
+        a.evaluations += 5;
+        a.llm_calls += 2;
+        let d = diff(&a, &b);
+        assert_eq!(d.evaluations_delta, -5);
+        assert_eq!(d.llm_calls_delta, -2);
+        assert!(!d.is_empty());
+        assert!(d.render_markdown().contains("| evaluations | -5 |"));
+    }
+}

@@ -1,0 +1,304 @@
+//! A self-contained HTML rendering of a report, mirroring the paper's demo UI.
+//!
+//! The RAGE demonstration (§III) shows its explanations as side-by-side
+//! panels. [`render_html`] reproduces that layout as a single static page:
+//! six panels (answer provenance, counterfactual citations, order
+//! sensitivity, optimal placements, perturbation insights, evaluation cost)
+//! on a responsive grid, all CSS inline, no scripts and no external assets —
+//! the page can be written next to a CI artifact and opened from disk.
+
+use std::fmt::Write as _;
+
+use rage_core::counterfactual::SearchDirection;
+use rage_core::RageReport;
+
+use crate::format_share;
+
+/// Escape text for interpolation into HTML content or attribute values.
+fn html_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const STYLE: &str = "\
+body{font-family:system-ui,-apple-system,'Segoe UI',sans-serif;margin:0;\
+background:#f4f5f7;color:#1c1e21;}\
+header{background:#1f3a5f;color:#fff;padding:1.2rem 2rem;}\
+header h1{margin:0 0 .3rem;font-size:1.3rem;}\
+header p{margin:.15rem 0;opacity:.9;}\
+main{display:grid;grid-template-columns:repeat(auto-fit,minmax(22rem,1fr));\
+gap:1rem;padding:1rem 2rem 2rem;}\
+section{background:#fff;border:1px solid #d8dce2;border-radius:8px;\
+padding:1rem 1.2rem;box-shadow:0 1px 2px rgba(0,0,0,.05);}\
+section h2{margin:0 0 .6rem;font-size:1.02rem;color:#1f3a5f;\
+border-bottom:2px solid #e8ebf0;padding-bottom:.4rem;}\
+table{border-collapse:collapse;width:100%;font-size:.88rem;}\
+th,td{border:1px solid #e2e5ea;padding:.3rem .5rem;text-align:left;}\
+th{background:#f0f2f5;}\
+.answer{font-weight:600;color:#0b6e4f;}\
+.flip{font-weight:600;color:#a4452f;}\
+.muted{color:#68707c;font-size:.85rem;}\
+ul{margin:.4rem 0;padding-left:1.2rem;}\
+code{background:#f0f2f5;border-radius:3px;padding:0 .25rem;}";
+
+fn order_ids(report: &RageReport, order: &[usize]) -> String {
+    report
+        .context
+        .doc_ids(order)
+        .iter()
+        .map(|id| html_escape(id))
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+/// Render the report as one self-contained HTML page (inline CSS, no external
+/// assets) with the six demonstration panels.
+pub fn render_html(report: &RageReport) -> String {
+    let mut html = String::new();
+    let _ = write!(
+        html,
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n\
+         <title>RAGE explanation — {}</title>\n<style>{STYLE}</style>\n</head>\n<body>\n",
+        html_escape(&report.question)
+    );
+    let _ = write!(
+        html,
+        "<header>\n<h1>RAGE explanation</h1>\n\
+         <p><strong>Question.</strong> {}</p>\n\
+         <p><strong>Answer.</strong> <span class=\"answer\">{}</span>\
+         &nbsp;&nbsp;<span class=\"muted\">without context: {}</span></p>\n</header>\n<main>\n",
+        html_escape(&report.question),
+        html_escape(&report.full_context_answer),
+        html_escape(&report.empty_context_answer),
+    );
+
+    // Panel 1: answer provenance (the retrieved context).
+    let _ = write!(
+        html,
+        "<section id=\"panel-provenance\">\n<h2>Retrieved context</h2>\n\
+         <table>\n<tr><th>#</th><th>source</th><th>retrieval score</th>\
+         <th>relevance</th></tr>\n"
+    );
+    for (i, source) in report.context.sources.iter().enumerate() {
+        let relevance = match report.source_scores.get(i) {
+            Some(score) => format!("{score:.3}"),
+            None => "n/a".to_string(),
+        };
+        let _ = writeln!(
+            html,
+            "<tr><td>{}</td><td title=\"{}\">{}</td><td>{:.3}</td><td>{}</td></tr>",
+            i + 1,
+            html_escape(&source.title),
+            html_escape(&source.doc_id),
+            source.retrieval_score,
+            relevance
+        );
+    }
+    html.push_str("</table>\n</section>\n");
+
+    // Panel 2: counterfactual citations.
+    html.push_str("<section id=\"panel-citations\">\n<h2>Counterfactual citations</h2>\n");
+    match &report.top_down.counterfactual {
+        Some(cf) => {
+            let _ = writeln!(
+                html,
+                "<p>Removing {{{}}} changes the answer to \
+                 <span class=\"flip\">{}</span> <span class=\"muted\">({} evaluations)\
+                 </span>.</p>",
+                report
+                    .citations()
+                    .iter()
+                    .map(|id| html_escape(id))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                html_escape(&cf.answer),
+                report.top_down.stats.candidates
+            );
+        }
+        None => {
+            let _ = writeln!(
+                html,
+                "<p>No removal within budget changes the answer \
+                 <span class=\"muted\">({} evaluations)</span>.</p>",
+                report.top_down.stats.candidates
+            );
+        }
+    }
+    match &report.bottom_up.counterfactual {
+        Some(cf) => {
+            let ids = report
+                .context
+                .doc_ids(cf.cited_positions(SearchDirection::BottomUp));
+            let _ = writeln!(
+                html,
+                "<p>Retaining only {{{}}} already changes the no-context answer to \
+                 <span class=\"flip\">{}</span>.</p>",
+                ids.iter()
+                    .map(|id| html_escape(id))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                html_escape(&cf.answer)
+            );
+        }
+        None => {
+            html.push_str(
+                "<p>No retained subset within budget changes the no-context answer.</p>\n",
+            );
+        }
+    }
+    html.push_str("</section>\n");
+
+    // Panel 3: order sensitivity.
+    html.push_str("<section id=\"panel-order\">\n<h2>Order sensitivity</h2>\n");
+    match &report.permutation.counterfactual {
+        Some(cf) => {
+            let _ = writeln!(
+                html,
+                "<p>Re-ordering the context to {} <span class=\"muted\">(Kendall tau \
+                 {:.2})</span> flips the answer to <span class=\"flip\">{}</span>.</p>",
+                order_ids(report, &cf.order),
+                cf.tau,
+                html_escape(&cf.answer)
+            );
+        }
+        None => {
+            let _ = writeln!(
+                html,
+                "<p>The answer is stable under the {} most similar re-orderings \
+                 tested.</p>",
+                report.permutation.stats.candidates
+            );
+        }
+    }
+    html.push_str("</section>\n");
+
+    // Panel 4: optimal placements.
+    html.push_str("<section id=\"panel-placements\">\n<h2>Optimal placements</h2>\n");
+    if report.best_orders.is_empty() {
+        html.push_str("<p class=\"muted\">No placements ranked.</p>\n");
+    } else {
+        html.push_str(
+            "<table>\n<tr><th>rank</th><th>order (doc ids)</th><th>objective</th>\
+             <th>answer</th></tr>\n",
+        );
+        for (rank, op) in report.best_orders.iter().enumerate() {
+            let _ = writeln!(
+                html,
+                "<tr><td>{}</td><td>{}</td><td>{:.3}</td><td>{}</td></tr>",
+                rank + 1,
+                order_ids(report, &op.order),
+                op.objective,
+                html_escape(&op.answer)
+            );
+        }
+        html.push_str("</table>\n");
+        if let Some(worst) = report.worst_orders.first() {
+            let _ = writeln!(
+                html,
+                "<p class=\"muted\">Worst placement: {} (objective {:.3}) → {}.</p>",
+                order_ids(report, &worst.order),
+                worst.objective,
+                html_escape(&worst.answer)
+            );
+        }
+    }
+    html.push_str("</section>\n");
+
+    // Panel 5: perturbation insights.
+    let _ = write!(
+        html,
+        "<section id=\"panel-insights\">\n<h2>Insights over {} sampled orders</h2>\n\
+         <table>\n<tr><th>answer</th><th>share</th></tr>\n",
+        report.insights.num_samples
+    );
+    for entry in &report.insights.distribution.entries {
+        let _ = writeln!(
+            html,
+            "<tr><td>{}</td><td>{}</td></tr>",
+            html_escape(&entry.answer),
+            format_share(entry.share)
+        );
+    }
+    html.push_str("</table>\n");
+    if !report.insights.rules.is_empty() {
+        html.push_str("<ul>\n");
+        for rule in &report.insights.rules {
+            let _ = writeln!(
+                html,
+                "<li>when <code>{}</code> is {} the answer is <strong>{}</strong> \
+                 <span class=\"muted\">(confidence {}, support {})</span></li>",
+                html_escape(&rule.doc_id),
+                if rule.present { "present" } else { "absent" },
+                html_escape(&rule.answer),
+                format_share(rule.confidence),
+                format_share(rule.support)
+            );
+        }
+        html.push_str("</ul>\n");
+    }
+    html.push_str("</section>\n");
+
+    // Panel 6: evaluation cost.
+    let _ = write!(
+        html,
+        "<section id=\"panel-cost\">\n<h2>Evaluation cost</h2>\n\
+         <p><strong>{}</strong> distinct perturbations evaluated, \
+         <strong>{}</strong> LLM inferences paid for.</p>\n\
+         <p class=\"muted\">Cache hits across the report's searches are free; \
+         the gap between the two numbers is sharing.</p>\n</section>\n",
+        report.evaluations, report.llm_calls
+    );
+
+    html.push_str("</main>\n</body>\n</html>\n");
+    html
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use rage_core::explanation::ReportConfig;
+
+    #[test]
+    fn page_is_self_contained_with_six_panels() {
+        let scenario = scenarios::scenario_by_name("us_open").unwrap();
+        let report = scenarios::report_for(&scenario, &ReportConfig::default()).unwrap();
+        let html = render_html(&report);
+        for panel in [
+            "panel-provenance",
+            "panel-citations",
+            "panel-order",
+            "panel-placements",
+            "panel-insights",
+            "panel-cost",
+        ] {
+            assert!(html.contains(panel), "missing {panel}");
+        }
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<style>"));
+        // Self-contained: no external fetches of any kind.
+        for needle in ["http://", "https://", "<script", "<link", "src="] {
+            assert!(!html.contains(needle), "page not self-contained: {needle}");
+        }
+        assert!(html.contains(&html_escape(&report.full_context_answer)));
+    }
+
+    #[test]
+    fn interpolated_text_is_escaped() {
+        assert_eq!(
+            html_escape("<img src=x> & \"quotes\""),
+            "&lt;img src=x&gt; &amp; &quot;quotes&quot;"
+        );
+    }
+}

@@ -1,0 +1,647 @@
+//! The versioned structured report format: [`to_json`] / [`from_json`].
+//!
+//! See the crate docs for the full schema. The mapping is lossless: every
+//! field of [`RageReport`] appears in the JSON document and
+//! `from_json(to_json(report)) == report` exactly (floats survive because the
+//! renderer uses Rust's shortest round-trippable float formatting).
+
+use std::fmt;
+
+use rage_core::counterfactual::{
+    CombinationCounterfactual, CombinationOutcome, PermutationCounterfactual, PermutationOutcome,
+    SearchStats,
+};
+use rage_core::insights::{
+    AnswerDistribution, AnswerShare, FrequencyCell, FrequencyRow, FrequencyTable, Insights,
+    PresenceRule,
+};
+use rage_core::optimal::OptimalPermutation;
+use rage_core::{Context, ContextSource, RageReport};
+use rage_json::JsonValue;
+
+/// The schema version emitted by [`to_json`] and accepted by [`from_json`].
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The `"kind"` discriminator emitted by [`to_json`].
+const KIND: &str = "rage-report";
+
+/// A structural error while decoding a report from JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportJsonError {
+    /// Dotted path to the offending member (e.g. `insights.rules[2].support`).
+    pub path: String,
+    /// What was wrong there.
+    pub message: String,
+}
+
+impl ReportJsonError {
+    fn new(path: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ReportJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for ReportJsonError {}
+
+fn obj(members: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(value: &str) -> JsonValue {
+    JsonValue::String(value.to_string())
+}
+
+fn num(value: f64) -> JsonValue {
+    JsonValue::Number(value)
+}
+
+fn int(value: usize) -> JsonValue {
+    JsonValue::Number(value as f64)
+}
+
+fn indices(values: &[usize]) -> JsonValue {
+    JsonValue::Array(values.iter().map(|&v| int(v)).collect())
+}
+
+fn stats_to_json(stats: &SearchStats) -> JsonValue {
+    obj(vec![
+        ("candidates", int(stats.candidates)),
+        ("llm_calls", int(stats.llm_calls)),
+    ])
+}
+
+fn combination_to_json(outcome: &CombinationOutcome) -> JsonValue {
+    let counterfactual = match &outcome.counterfactual {
+        Some(cf) => obj(vec![
+            ("removed", indices(&cf.removed)),
+            ("kept", indices(&cf.kept)),
+            ("baseline_answer", s(&cf.baseline_answer)),
+            ("answer", s(&cf.answer)),
+        ]),
+        None => JsonValue::Null,
+    };
+    obj(vec![
+        ("counterfactual", counterfactual),
+        (
+            "exhausted_budget",
+            JsonValue::Bool(outcome.exhausted_budget),
+        ),
+        ("stats", stats_to_json(&outcome.stats)),
+    ])
+}
+
+fn permutation_to_json(outcome: &PermutationOutcome) -> JsonValue {
+    let counterfactual = match &outcome.counterfactual {
+        Some(cf) => obj(vec![
+            ("order", indices(&cf.order)),
+            ("tau", num(cf.tau)),
+            ("baseline_answer", s(&cf.baseline_answer)),
+            ("answer", s(&cf.answer)),
+        ]),
+        None => JsonValue::Null,
+    };
+    obj(vec![
+        ("counterfactual", counterfactual),
+        (
+            "exhausted_budget",
+            JsonValue::Bool(outcome.exhausted_budget),
+        ),
+        ("stats", stats_to_json(&outcome.stats)),
+    ])
+}
+
+fn orders_to_json(orders: &[OptimalPermutation]) -> JsonValue {
+    JsonValue::Array(
+        orders
+            .iter()
+            .map(|op| {
+                obj(vec![
+                    ("order", indices(&op.order)),
+                    ("objective", num(op.objective)),
+                    ("answer", s(&op.answer)),
+                    ("tau", num(op.tau)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn insights_to_json(insights: &Insights) -> JsonValue {
+    let entries = JsonValue::Array(
+        insights
+            .distribution
+            .entries
+            .iter()
+            .map(|e| {
+                obj(vec![
+                    ("answer", s(&e.answer)),
+                    ("normalized", s(&e.normalized)),
+                    ("count", int(e.count)),
+                    ("share", num(e.share)),
+                ])
+            })
+            .collect(),
+    );
+    let rows = JsonValue::Array(
+        insights
+            .table
+            .rows
+            .iter()
+            .map(|row| {
+                let cells = JsonValue::Array(
+                    row.cells
+                        .iter()
+                        .map(|cell| {
+                            obj(vec![
+                                ("answer", s(&cell.answer)),
+                                ("present", int(cell.present)),
+                                ("out_of", int(cell.out_of)),
+                                (
+                                    "mean_position",
+                                    cell.mean_position.map_or(JsonValue::Null, num),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                );
+                obj(vec![
+                    ("source", int(row.source)),
+                    ("doc_id", s(&row.doc_id)),
+                    ("present_in", int(row.present_in)),
+                    ("cells", cells),
+                ])
+            })
+            .collect(),
+    );
+    let rules = JsonValue::Array(
+        insights
+            .rules
+            .iter()
+            .map(|rule| {
+                obj(vec![
+                    ("source", int(rule.source)),
+                    ("doc_id", s(&rule.doc_id)),
+                    ("present", JsonValue::Bool(rule.present)),
+                    ("answer", s(&rule.answer)),
+                    ("support", num(rule.support)),
+                    ("confidence", num(rule.confidence)),
+                ])
+            })
+            .collect(),
+    );
+    obj(vec![
+        ("num_samples", int(insights.num_samples)),
+        (
+            "distribution",
+            obj(vec![
+                ("total", int(insights.distribution.total)),
+                ("entries", entries),
+            ]),
+        ),
+        ("table", obj(vec![("rows", rows)])),
+        ("rules", rules),
+        ("stats", stats_to_json(&insights.stats)),
+    ])
+}
+
+fn context_to_json(context: &Context) -> JsonValue {
+    let sources = JsonValue::Array(
+        context
+            .sources
+            .iter()
+            .map(|source| {
+                obj(vec![
+                    ("doc_id", s(&source.doc_id)),
+                    ("title", s(&source.title)),
+                    ("text", s(&source.text)),
+                    ("rank", int(source.rank)),
+                    ("retrieval_score", num(source.retrieval_score)),
+                ])
+            })
+            .collect(),
+    );
+    obj(vec![("query", s(&context.query)), ("sources", sources)])
+}
+
+/// Serialize a report into the schema-versioned JSON document.
+///
+/// The result renders to valid JSON via [`JsonValue::render`] and decodes
+/// back to an equal report via [`from_json`].
+pub fn to_json(report: &RageReport) -> JsonValue {
+    obj(vec![
+        ("schema_version", int(SCHEMA_VERSION as usize)),
+        ("kind", s(KIND)),
+        ("question", s(&report.question)),
+        (
+            "answers",
+            obj(vec![
+                ("full_context", s(&report.full_context_answer)),
+                ("empty_context", s(&report.empty_context_answer)),
+            ]),
+        ),
+        ("context", context_to_json(&report.context)),
+        (
+            "source_scores",
+            JsonValue::Array(report.source_scores.iter().map(|&v| num(v)).collect()),
+        ),
+        (
+            "counterfactuals",
+            obj(vec![
+                ("top_down", combination_to_json(&report.top_down)),
+                ("bottom_up", combination_to_json(&report.bottom_up)),
+            ]),
+        ),
+        ("permutation", permutation_to_json(&report.permutation)),
+        ("best_orders", orders_to_json(&report.best_orders)),
+        ("worst_orders", orders_to_json(&report.worst_orders)),
+        ("insights", insights_to_json(&report.insights)),
+        (
+            "cost",
+            obj(vec![
+                ("evaluations", int(report.evaluations)),
+                ("llm_calls", int(report.llm_calls)),
+            ]),
+        ),
+    ])
+}
+
+// ---- decoding ----------------------------------------------------------
+
+fn get<'a>(value: &'a JsonValue, path: &str, key: &str) -> Result<&'a JsonValue, ReportJsonError> {
+    value
+        .get(key)
+        .ok_or_else(|| ReportJsonError::new(format!("{path}.{key}"), "missing member"))
+}
+
+fn get_str(value: &JsonValue, path: &str, key: &str) -> Result<String, ReportJsonError> {
+    get(value, path, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| ReportJsonError::new(format!("{path}.{key}"), "expected a string"))
+}
+
+fn get_f64(value: &JsonValue, path: &str, key: &str) -> Result<f64, ReportJsonError> {
+    get(value, path, key)?
+        .as_f64()
+        .ok_or_else(|| ReportJsonError::new(format!("{path}.{key}"), "expected a number"))
+}
+
+fn get_usize(value: &JsonValue, path: &str, key: &str) -> Result<usize, ReportJsonError> {
+    get(value, path, key)?.as_usize().ok_or_else(|| {
+        ReportJsonError::new(format!("{path}.{key}"), "expected a non-negative integer")
+    })
+}
+
+fn get_bool(value: &JsonValue, path: &str, key: &str) -> Result<bool, ReportJsonError> {
+    get(value, path, key)?
+        .as_bool()
+        .ok_or_else(|| ReportJsonError::new(format!("{path}.{key}"), "expected a boolean"))
+}
+
+fn get_array<'a>(
+    value: &'a JsonValue,
+    path: &str,
+    key: &str,
+) -> Result<&'a [JsonValue], ReportJsonError> {
+    get(value, path, key)?
+        .as_array()
+        .ok_or_else(|| ReportJsonError::new(format!("{path}.{key}"), "expected an array"))
+}
+
+fn get_indices(value: &JsonValue, path: &str, key: &str) -> Result<Vec<usize>, ReportJsonError> {
+    get_array(value, path, key)?
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            item.as_usize().ok_or_else(|| {
+                ReportJsonError::new(
+                    format!("{path}.{key}[{i}]"),
+                    "expected a non-negative integer",
+                )
+            })
+        })
+        .collect()
+}
+
+fn stats_from_json(value: &JsonValue, path: &str) -> Result<SearchStats, ReportJsonError> {
+    Ok(SearchStats {
+        candidates: get_usize(value, path, "candidates")?,
+        llm_calls: get_usize(value, path, "llm_calls")?,
+    })
+}
+
+fn combination_from_json(
+    value: &JsonValue,
+    path: &str,
+) -> Result<CombinationOutcome, ReportJsonError> {
+    let cf_value = get(value, path, "counterfactual")?;
+    let counterfactual = if cf_value.is_null() {
+        None
+    } else {
+        let cf_path = format!("{path}.counterfactual");
+        Some(CombinationCounterfactual {
+            removed: get_indices(cf_value, &cf_path, "removed")?,
+            kept: get_indices(cf_value, &cf_path, "kept")?,
+            baseline_answer: get_str(cf_value, &cf_path, "baseline_answer")?,
+            answer: get_str(cf_value, &cf_path, "answer")?,
+        })
+    };
+    Ok(CombinationOutcome {
+        counterfactual,
+        exhausted_budget: get_bool(value, path, "exhausted_budget")?,
+        stats: stats_from_json(get(value, path, "stats")?, &format!("{path}.stats"))?,
+    })
+}
+
+fn permutation_from_json(
+    value: &JsonValue,
+    path: &str,
+) -> Result<PermutationOutcome, ReportJsonError> {
+    let cf_value = get(value, path, "counterfactual")?;
+    let counterfactual = if cf_value.is_null() {
+        None
+    } else {
+        let cf_path = format!("{path}.counterfactual");
+        Some(PermutationCounterfactual {
+            order: get_indices(cf_value, &cf_path, "order")?,
+            tau: get_f64(cf_value, &cf_path, "tau")?,
+            baseline_answer: get_str(cf_value, &cf_path, "baseline_answer")?,
+            answer: get_str(cf_value, &cf_path, "answer")?,
+        })
+    };
+    Ok(PermutationOutcome {
+        counterfactual,
+        exhausted_budget: get_bool(value, path, "exhausted_budget")?,
+        stats: stats_from_json(get(value, path, "stats")?, &format!("{path}.stats"))?,
+    })
+}
+
+fn orders_from_json(
+    value: &JsonValue,
+    path: &str,
+    key: &str,
+) -> Result<Vec<OptimalPermutation>, ReportJsonError> {
+    get_array(value, path, key)?
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let item_path = format!("{path}.{key}[{i}]");
+            Ok(OptimalPermutation {
+                order: get_indices(item, &item_path, "order")?,
+                objective: get_f64(item, &item_path, "objective")?,
+                answer: get_str(item, &item_path, "answer")?,
+                tau: get_f64(item, &item_path, "tau")?,
+            })
+        })
+        .collect()
+}
+
+fn insights_from_json(value: &JsonValue, path: &str) -> Result<Insights, ReportJsonError> {
+    let distribution_value = get(value, path, "distribution")?;
+    let dist_path = format!("{path}.distribution");
+    let entries = get_array(distribution_value, &dist_path, "entries")?
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            let item_path = format!("{dist_path}.entries[{i}]");
+            Ok(AnswerShare {
+                answer: get_str(item, &item_path, "answer")?,
+                normalized: get_str(item, &item_path, "normalized")?,
+                count: get_usize(item, &item_path, "count")?,
+                share: get_f64(item, &item_path, "share")?,
+            })
+        })
+        .collect::<Result<Vec<_>, ReportJsonError>>()?;
+    let distribution = AnswerDistribution {
+        total: get_usize(distribution_value, &dist_path, "total")?,
+        entries,
+    };
+
+    let table_value = get(value, path, "table")?;
+    let table_path = format!("{path}.table");
+    let rows = get_array(table_value, &table_path, "rows")?
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let row_path = format!("{table_path}.rows[{i}]");
+            let cells = get_array(row, &row_path, "cells")?
+                .iter()
+                .enumerate()
+                .map(|(j, cell)| {
+                    let cell_path = format!("{row_path}.cells[{j}]");
+                    let mean_position = get(cell, &cell_path, "mean_position")?;
+                    let mean_position = if mean_position.is_null() {
+                        None
+                    } else {
+                        Some(mean_position.as_f64().ok_or_else(|| {
+                            ReportJsonError::new(
+                                format!("{cell_path}.mean_position"),
+                                "expected a number or null",
+                            )
+                        })?)
+                    };
+                    Ok(FrequencyCell {
+                        answer: get_str(cell, &cell_path, "answer")?,
+                        present: get_usize(cell, &cell_path, "present")?,
+                        out_of: get_usize(cell, &cell_path, "out_of")?,
+                        mean_position,
+                    })
+                })
+                .collect::<Result<Vec<_>, ReportJsonError>>()?;
+            Ok(FrequencyRow {
+                source: get_usize(row, &row_path, "source")?,
+                doc_id: get_str(row, &row_path, "doc_id")?,
+                present_in: get_usize(row, &row_path, "present_in")?,
+                cells,
+            })
+        })
+        .collect::<Result<Vec<_>, ReportJsonError>>()?;
+
+    let rules = get_array(value, path, "rules")?
+        .iter()
+        .enumerate()
+        .map(|(i, rule)| {
+            let rule_path = format!("{path}.rules[{i}]");
+            Ok(PresenceRule {
+                source: get_usize(rule, &rule_path, "source")?,
+                doc_id: get_str(rule, &rule_path, "doc_id")?,
+                present: get_bool(rule, &rule_path, "present")?,
+                answer: get_str(rule, &rule_path, "answer")?,
+                support: get_f64(rule, &rule_path, "support")?,
+                confidence: get_f64(rule, &rule_path, "confidence")?,
+            })
+        })
+        .collect::<Result<Vec<_>, ReportJsonError>>()?;
+
+    Ok(Insights {
+        num_samples: get_usize(value, path, "num_samples")?,
+        distribution,
+        table: FrequencyTable { rows },
+        rules,
+        stats: stats_from_json(get(value, path, "stats")?, &format!("{path}.stats"))?,
+    })
+}
+
+fn context_from_json(value: &JsonValue, path: &str) -> Result<Context, ReportJsonError> {
+    let sources = get_array(value, path, "sources")?
+        .iter()
+        .enumerate()
+        .map(|(i, source)| {
+            let source_path = format!("{path}.sources[{i}]");
+            Ok(ContextSource {
+                doc_id: get_str(source, &source_path, "doc_id")?,
+                title: get_str(source, &source_path, "title")?,
+                text: get_str(source, &source_path, "text")?,
+                rank: get_usize(source, &source_path, "rank")?,
+                retrieval_score: get_f64(source, &source_path, "retrieval_score")?,
+            })
+        })
+        .collect::<Result<Vec<_>, ReportJsonError>>()?;
+    Ok(Context {
+        query: get_str(value, path, "query")?,
+        sources,
+    })
+}
+
+/// Decode a report from its [`to_json`] representation.
+///
+/// Rejects documents with a missing or unknown `schema_version` (or a wrong
+/// `kind`), and reports the dotted path of the first structural mismatch.
+pub fn from_json(value: &JsonValue) -> Result<RageReport, ReportJsonError> {
+    let version = get_usize(value, "$", "schema_version")?;
+    if version != SCHEMA_VERSION as usize {
+        return Err(ReportJsonError::new(
+            "$.schema_version",
+            format!("unsupported schema version {version} (this build reads {SCHEMA_VERSION})"),
+        ));
+    }
+    let kind = get_str(value, "$", "kind")?;
+    if kind != KIND {
+        return Err(ReportJsonError::new(
+            "$.kind",
+            format!("expected {KIND:?}, found {kind:?}"),
+        ));
+    }
+
+    let answers = get(value, "$", "answers")?;
+    let counterfactuals = get(value, "$", "counterfactuals")?;
+    let cost = get(value, "$", "cost")?;
+
+    let source_scores = get_array(value, "$", "source_scores")?
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            item.as_f64().ok_or_else(|| {
+                ReportJsonError::new(format!("$.source_scores[{i}]"), "expected a number")
+            })
+        })
+        .collect::<Result<Vec<_>, ReportJsonError>>()?;
+
+    Ok(RageReport {
+        question: get_str(value, "$", "question")?,
+        context: context_from_json(get(value, "$", "context")?, "$.context")?,
+        full_context_answer: get_str(answers, "$.answers", "full_context")?,
+        empty_context_answer: get_str(answers, "$.answers", "empty_context")?,
+        source_scores,
+        top_down: combination_from_json(
+            get(counterfactuals, "$.counterfactuals", "top_down")?,
+            "$.counterfactuals.top_down",
+        )?,
+        bottom_up: combination_from_json(
+            get(counterfactuals, "$.counterfactuals", "bottom_up")?,
+            "$.counterfactuals.bottom_up",
+        )?,
+        permutation: permutation_from_json(get(value, "$", "permutation")?, "$.permutation")?,
+        best_orders: orders_from_json(value, "$", "best_orders")?,
+        worst_orders: orders_from_json(value, "$", "worst_orders")?,
+        insights: insights_from_json(get(value, "$", "insights")?, "$.insights")?,
+        evaluations: get_usize(cost, "$.cost", "evaluations")?,
+        llm_calls: get_usize(cost, "$.cost", "llm_calls")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+    use rage_core::explanation::ReportConfig;
+
+    fn report() -> RageReport {
+        let scenario = scenarios::scenario_by_name("us_open").unwrap();
+        scenarios::report_for(&scenario, &ReportConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn json_has_version_and_every_panel() {
+        let value = to_json(&report());
+        assert_eq!(value.get("schema_version"), Some(&JsonValue::Number(1.0)));
+        assert_eq!(
+            value.get("kind").and_then(JsonValue::as_str),
+            Some("rage-report")
+        );
+        for key in [
+            "question",
+            "answers",
+            "context",
+            "source_scores",
+            "counterfactuals",
+            "permutation",
+            "best_orders",
+            "worst_orders",
+            "insights",
+            "cost",
+        ] {
+            assert!(value.get(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_exact() {
+        let value = to_json(&report());
+        let reparsed = JsonValue::parse(&value.render()).unwrap();
+        assert_eq!(reparsed, value);
+    }
+
+    #[test]
+    fn from_json_reconstructs_the_report_exactly() {
+        let original = report();
+        let decoded = from_json(&to_json(&original)).unwrap();
+        assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected() {
+        let mut value = to_json(&report());
+        if let JsonValue::Object(members) = &mut value {
+            for (key, v) in members.iter_mut() {
+                if key == "schema_version" {
+                    *v = JsonValue::Number(99.0);
+                }
+            }
+        }
+        let err = from_json(&value).unwrap_err();
+        assert_eq!(err.path, "$.schema_version");
+        assert!(err.message.contains("99"));
+    }
+
+    #[test]
+    fn structural_errors_carry_a_path() {
+        let err = from_json(&JsonValue::Object(vec![])).unwrap_err();
+        assert_eq!(err.path, "$.schema_version");
+        let err = from_json(&JsonValue::parse(r#"{"schema_version": 1}"#).unwrap()).unwrap_err();
+        assert_eq!(err.path, "$.kind");
+    }
+}

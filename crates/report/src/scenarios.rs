@@ -1,0 +1,75 @@
+//! Demonstration-scenario plumbing shared by the `report` binary and tests.
+//!
+//! Maps the four scenario names the CLI accepts onto [`rage_datasets`]
+//! generators and runs a full explanation over one of them with the standard
+//! pipeline (BM25 retrieval + prior-seeded [`SimLlm`]), exactly like the
+//! paper's demo backend.
+
+use std::sync::Arc;
+
+use rage_core::explanation::ReportConfig;
+use rage_core::{RagPipeline, RageError, RageReport};
+use rage_datasets::{big_three, synthetic, timeline, us_open, Scenario};
+use rage_llm::model::{SimLlm, SimLlmConfig};
+use rage_retrieval::{IndexBuilder, Searcher};
+
+/// The scenario names the CLI accepts, in presentation order.
+pub const SCENARIO_NAMES: [&str; 4] = ["us_open", "big_three", "timeline", "synthetic"];
+
+/// Look up a demonstration scenario by CLI name.
+///
+/// Accepts `-` and `_` interchangeably (`us-open` == `us_open`). `synthetic`
+/// maps to the default seeded [`synthetic::ranking_scenario`]. Returns `None`
+/// for unknown names.
+pub fn scenario_by_name(name: &str) -> Option<Scenario> {
+    match name.replace('-', "_").as_str() {
+        "us_open" => Some(us_open::scenario()),
+        "big_three" => Some(big_three::scenario()),
+        "timeline" => Some(timeline::scenario()),
+        "synthetic" => Some(synthetic::ranking_scenario(
+            synthetic::RankingConfig::default(),
+        )),
+        _ => None,
+    }
+}
+
+/// Run the full RAGE explanation over a scenario and assemble its report.
+///
+/// Deterministic: the retrieval, the simulated LLM and the report's insight
+/// sample are all seeded, so the same scenario and config always produce an
+/// identical report (this is what the golden-snapshot tests pin).
+pub fn report_for(scenario: &Scenario, config: &ReportConfig) -> Result<RageReport, RageError> {
+    let searcher = Searcher::new(IndexBuilder::default().build(&scenario.corpus));
+    let llm = SimLlm::new(SimLlmConfig::default().with_prior(scenario.prior.clone()));
+    let pipeline = RagPipeline::new(searcher, Arc::new(llm));
+    let (_, evaluator) = pipeline.ask_and_explain(&scenario.question, scenario.retrieval_k)?;
+    RageReport::generate(&evaluator, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_cli_name_resolves() {
+        for name in SCENARIO_NAMES {
+            assert!(scenario_by_name(name).is_some(), "{name}");
+        }
+        assert!(scenario_by_name("us-open").is_some());
+        assert!(scenario_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn reports_generate_for_every_scenario() {
+        let config = ReportConfig {
+            insight_samples: 4,
+            permutation_budget: Some(16),
+            ..ReportConfig::default()
+        };
+        for name in SCENARIO_NAMES {
+            let scenario = scenario_by_name(name).unwrap();
+            let report = report_for(&scenario, &config).unwrap();
+            assert!(!report.full_context_answer.is_empty(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Golden-snapshot tests: pin the markdown and JSON renderings of all four
+//! demonstration scenarios byte-for-byte.
+//!
+//! Every report here is fully deterministic (seeded retrieval, simulated LLM
+//! and insight sampling), so any diff in these snapshots is a real behaviour
+//! change — either an intentional rendering/schema change or an accidental
+//! regression in the engine.
+//!
+//! To update the snapshots after an intentional change:
+//!
+//! ```text
+//! UPDATE_SNAPSHOTS=1 cargo test -p rage-report --test golden
+//! ```
+//!
+//! then review the diff under `crates/report/tests/snapshots/` and commit it
+//! alongside the change that caused it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use rage_core::explanation::ReportConfig;
+use rage_report::scenarios::{report_for, scenario_by_name, SCENARIO_NAMES};
+use rage_report::{render_markdown, to_json};
+
+fn snapshot_path(name: &str, ext: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(format!("{name}.{ext}"))
+}
+
+fn check_snapshot(name: &str, ext: &str, actual: &str) {
+    let path = snapshot_path(name, ext);
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|err| {
+        panic!(
+            "cannot read snapshot {path:?} ({err}); \
+             run UPDATE_SNAPSHOTS=1 cargo test -p rage-report --test golden"
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name}.{ext} drifted from its golden snapshot; if the change is \
+         intentional, regenerate with UPDATE_SNAPSHOTS=1 and commit the diff"
+    );
+}
+
+fn check_scenario(name: &str) {
+    let scenario = scenario_by_name(name).expect("built-in scenario name");
+    let report = report_for(&scenario, &ReportConfig::default()).expect("explanation succeeds");
+    check_snapshot(name, "md", &render_markdown(&report));
+    check_snapshot(name, "json", &(to_json(&report).render() + "\n"));
+}
+
+#[test]
+fn us_open_snapshots_are_stable() {
+    check_scenario("us_open");
+}
+
+#[test]
+fn big_three_snapshots_are_stable() {
+    check_scenario("big_three");
+}
+
+#[test]
+fn timeline_snapshots_are_stable() {
+    check_scenario("timeline");
+}
+
+#[test]
+fn synthetic_snapshots_are_stable() {
+    check_scenario("synthetic");
+}
+
+#[test]
+fn snapshot_list_matches_cli_scenarios() {
+    // Every scenario the CLI knows has a pinned pair of snapshots (guards
+    // against adding a scenario without extending the golden coverage).
+    for name in SCENARIO_NAMES {
+        for ext in ["md", "json"] {
+            assert!(
+                std::env::var_os("UPDATE_SNAPSHOTS").is_some() || snapshot_path(name, ext).exists(),
+                "missing snapshot {name}.{ext}"
+            );
+        }
+    }
+}

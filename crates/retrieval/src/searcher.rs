@@ -41,10 +41,10 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse on score to make BinaryHeap behave as a min-heap; ties broken by
         // preferring to *evict* the larger ordinal so earlier documents win ties.
+        // total_cmp keeps the order total (and deterministic) even for NaN scores.
         other
             .score
-            .partial_cmp(&self.score)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.score)
             .then_with(|| self.ordinal.cmp(&other.ordinal))
     }
 }
@@ -126,8 +126,7 @@ impl Searcher {
         let mut selected: Vec<HeapEntry> = heap.into_vec();
         selected.sort_by(|a, b| {
             b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(Ordering::Equal)
+                .total_cmp(&a.score)
                 .then_with(|| a.ordinal.cmp(&b.ordinal))
         });
 
