@@ -36,5 +36,5 @@ pub use kendall::{kendall_tau, kendall_tau_distance};
 pub use numeric::{binomial, factorial};
 pub use permutations::{
     fisher_yates_shuffle, lehmer_rank, lehmer_unrank, permutations_by_similarity,
-    sample_permutations, PermutationIter,
+    sample_permutations, PermutationIter, SimilarityPermutations,
 };

@@ -116,9 +116,9 @@ pub fn naive_sample_permutations<R: Rng + ?Sized>(
         .collect()
 }
 
-/// Enumerate permutations of `0..k` in order of decreasing similarity to the identity
-/// (i.e. increasing inversion count / decreasing Kendall's tau), up to `limit`
-/// permutations, starting with the identity itself.
+/// Lazy enumeration of the permutations of `0..k` in order of decreasing similarity to
+/// the identity (i.e. increasing inversion count / decreasing Kendall's tau), starting
+/// with the identity itself.
 ///
 /// This is the enumeration order of RAGE's permutation counterfactual search: the most
 /// similar reorderings are evaluated first. Within one inversion level (equal tau) the
@@ -127,41 +127,74 @@ pub fn naive_sample_permutations<R: Rng + ?Sized>(
 /// The enumeration is breadth-first over inversion levels: every permutation with `m+1`
 /// inversions is reachable from some permutation with `m` inversions by swapping one
 /// adjacent ascending pair, so level-by-level expansion with deduplication visits each
-/// permutation exactly once and never skips a level.
-pub fn permutations_by_similarity(k: usize, limit: usize) -> Vec<Vec<usize>> {
-    use std::collections::BTreeSet;
+/// permutation exactly once and never skips a level. Unlike a full materialisation, the
+/// iterator only ever holds the **frontier** (the current inversion level, plus the
+/// next one while expanding) — consumers that stop early, like a budgeted
+/// counterfactual search, never pay for the deeper levels, and nothing retains the
+/// already-yielded prefix. Peak memory is the widest visited level instead of the whole
+/// `k!` enumeration.
+#[derive(Debug, Clone)]
+pub struct SimilarityPermutations {
+    k: usize,
+    /// The current inversion level, lexicographically sorted.
+    level: Vec<Vec<usize>>,
+    /// Next index within `level` to yield.
+    pos: usize,
+}
 
-    if limit == 0 {
-        return Vec::new();
+impl SimilarityPermutations {
+    /// Start the enumeration at the identity permutation of `0..k`.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            level: vec![(0..k).collect()],
+            pos: 0,
+        }
     }
-    let identity: Vec<usize> = (0..k).collect();
-    let mut result = vec![identity.clone()];
-    let mut current_level: BTreeSet<Vec<usize>> = BTreeSet::new();
-    current_level.insert(identity);
 
-    while result.len() < limit {
-        let mut next_level: BTreeSet<Vec<usize>> = BTreeSet::new();
-        for perm in &current_level {
-            for i in 0..k.saturating_sub(1) {
+    /// Expand the current level into the next inversion level. Returns `false` when the
+    /// enumeration is exhausted (the current level is the reverse-sorted permutation).
+    fn advance_level(&mut self) -> bool {
+        use std::collections::BTreeSet;
+
+        let mut next: BTreeSet<Vec<usize>> = BTreeSet::new();
+        for perm in &self.level {
+            for i in 0..self.k.saturating_sub(1) {
                 if perm[i] < perm[i + 1] {
                     let mut swapped = perm.clone();
                     swapped.swap(i, i + 1);
-                    next_level.insert(swapped);
+                    next.insert(swapped);
                 }
             }
         }
-        if next_level.is_empty() {
-            break;
+        if next.is_empty() {
+            return false;
         }
-        for perm in &next_level {
-            if result.len() >= limit {
-                break;
-            }
-            result.push(perm.clone());
-        }
-        current_level = next_level;
+        self.level = next.into_iter().collect();
+        self.pos = 0;
+        true
     }
-    result
+}
+
+impl Iterator for SimilarityPermutations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos == self.level.len() && !self.advance_level() {
+            return None;
+        }
+        let item = self.level[self.pos].clone();
+        self.pos += 1;
+        Some(item)
+    }
+}
+
+/// The first `limit` permutations of [`SimilarityPermutations`], materialised.
+///
+/// Kept for callers that genuinely need the prefix as a slice; prefer iterating
+/// [`SimilarityPermutations`] directly when consumption may stop early.
+pub fn permutations_by_similarity(k: usize, limit: usize) -> Vec<Vec<usize>> {
+    SimilarityPermutations::new(k).take(limit).collect()
 }
 
 /// Lehmer-code rank of a permutation of `0..n` (0 = identity, `n!`−1 = reverse-sorted).

@@ -118,3 +118,79 @@ fn kendall_tau_is_bounded_and_extremal_at_the_extremes() {
         }
     }
 }
+
+/// The original breadth-first materialisation of the similarity enumeration,
+/// kept verbatim as the oracle for the lazy frontier iterator.
+fn materialised_permutations_by_similarity(k: usize, limit: usize) -> Vec<Vec<usize>> {
+    use std::collections::BTreeSet;
+
+    if limit == 0 {
+        return Vec::new();
+    }
+    let identity: Vec<usize> = (0..k).collect();
+    let mut result = vec![identity.clone()];
+    let mut current_level: BTreeSet<Vec<usize>> = BTreeSet::new();
+    current_level.insert(identity);
+
+    while result.len() < limit {
+        let mut next_level: BTreeSet<Vec<usize>> = BTreeSet::new();
+        for perm in &current_level {
+            for i in 0..k.saturating_sub(1) {
+                if perm[i] < perm[i + 1] {
+                    let mut swapped = perm.clone();
+                    swapped.swap(i, i + 1);
+                    next_level.insert(swapped);
+                }
+            }
+        }
+        if next_level.is_empty() {
+            break;
+        }
+        for perm in &next_level {
+            if result.len() >= limit {
+                break;
+            }
+            result.push(perm.clone());
+        }
+        current_level = next_level;
+    }
+    result
+}
+
+#[test]
+fn lazy_similarity_iterator_matches_materialised_enumeration() {
+    use rage_assignment::permutations::SimilarityPermutations;
+
+    for k in 0..=8usize {
+        // Everything for small k; a deep prefix (past several inversion
+        // levels) for k = 7 and 8, where the full k! materialisation is what
+        // the iterator exists to avoid.
+        let total = factorial(k) as usize;
+        let prefixes: &[usize] = if k <= 6 {
+            &[0, 1, 2, 5, usize::MAX]
+        } else {
+            &[0, 1, 17, 500, 2000]
+        };
+        for &prefix in prefixes {
+            let n = prefix.min(total);
+            let lazy: Vec<Vec<usize>> = SimilarityPermutations::new(k).take(n).collect();
+            let oracle = materialised_permutations_by_similarity(k, n);
+            assert_eq!(lazy, oracle, "k={k} n={n}");
+        }
+    }
+}
+
+#[test]
+fn lazy_similarity_iterator_is_fused_with_take_and_resumable() {
+    use rage_assignment::permutations::SimilarityPermutations;
+
+    // Splitting one enumeration across multiple take() calls must agree with
+    // one uninterrupted enumeration — the search windows its consumption.
+    let mut windowed = SimilarityPermutations::new(6);
+    let mut collected = Vec::new();
+    for window in [1usize, 3, 8, 17, 40] {
+        collected.extend(windowed.by_ref().take(window));
+    }
+    let oracle = materialised_permutations_by_similarity(6, collected.len());
+    assert_eq!(collected, oracle);
+}

@@ -14,7 +14,8 @@
 //! speedup ratio lands in `BENCH_pr.json` as a tracked artifact.
 
 use rage_bench::workloads::{
-    bench_report_config, evaluator_for, parallel_evaluator_for, pipeline_for, synthetic,
+    bench_report_config, evaluator_for, parallel_evaluator_and_cache_for, parallel_evaluator_for,
+    pipeline_for, synthetic,
 };
 use rage_bench::{black_box, scaled, section, Runner};
 use rage_core::counterfactual::{find_combination_counterfactual, CounterfactualConfig};
@@ -65,6 +66,14 @@ fn main() {
             black_box(RageReport::generate(&evaluator, &config).unwrap());
         });
         runner.ratio("report/k=8/speedup@4", &seq, &par);
+
+        // One instrumented run so the SimLlm prefix cache's effectiveness on
+        // this workload lands in the JSON next to the timings — a cache
+        // regression (hit rate collapse) shows up in BENCH_pr.json even when
+        // wall-clock noise hides it.
+        let (evaluator, cache) = parallel_evaluator_and_cache_for(&scenario, 4);
+        black_box(RageReport::generate(&evaluator, &config).unwrap());
+        runner.cache_counters("report/k=8/prefix_cache", cache.stats());
     }
 
     runner.finish();

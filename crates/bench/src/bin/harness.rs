@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use rage_bench::workloads::{evaluator_for, parallel_evaluator_for};
+use rage_bench::workloads::{evaluator_for, parallel_evaluator_and_cache_for};
 use rage_core::explanation::ReportConfig;
 use rage_core::{Evaluate, RageReport};
 use rage_datasets::{big_three, timeline, us_open};
@@ -60,7 +60,7 @@ fn main() {
         let seq_elapsed = seq_start.elapsed();
 
         // The same explanation through the worker pool + prefix cache.
-        let parallel = parallel_evaluator_for(&scenario, threads);
+        let (parallel, prefix_cache) = parallel_evaluator_and_cache_for(&scenario, threads);
         let par_start = Instant::now();
         let par_report = match RageReport::generate(&parallel, &config) {
             Ok(report) => report,
@@ -78,11 +78,16 @@ fn main() {
             "parallel evaluation must not change answers"
         );
 
+        let cache_stats = prefix_cache.stats();
         print!("{}", seq_report.summary());
         println!(
             "expected answer: {} | sequential: {seq_elapsed:?} | parallel({threads}): \
-             {par_elapsed:?} | speedup@{threads}: {speedup:.2}x\n",
-            scenario.expected_full_context_answer
+             {par_elapsed:?} | speedup@{threads}: {speedup:.2}x | prefix cache: \
+             {} hits / {} misses ({:.1}% hit rate)\n",
+            scenario.expected_full_context_answer,
+            cache_stats.hits,
+            cache_stats.misses,
+            cache_stats.hit_rate() * 100.0
         );
 
         scenario_values.push(JsonValue::Object(vec![
@@ -109,11 +114,24 @@ fn main() {
                 "parallel_llm_calls".into(),
                 JsonValue::Number(par_report.llm_calls as f64),
             ),
-            // The evaluator's perturbation-memo hit rate (the SimLlm prefix
-            // cache keeps its own counters, not surfaced here).
+            // The evaluator's perturbation-memo hit rate.
             (
                 "parallel_memo_hit_rate".into(),
                 JsonValue::Number(parallel.cache_stats().hit_rate()),
+            ),
+            // The SimLlm prefix cache's own counters: reuse of per-(token,
+            // position) embedding/projection state across perturbed forwards.
+            (
+                "prefix_cache_hits".into(),
+                JsonValue::Number(cache_stats.hits as f64),
+            ),
+            (
+                "prefix_cache_misses".into(),
+                JsonValue::Number(cache_stats.misses as f64),
+            ),
+            (
+                "prefix_cache_hit_rate".into(),
+                JsonValue::Number(cache_stats.hit_rate()),
             ),
         ]));
     }

@@ -184,6 +184,7 @@ pub struct Runner {
     json_path: Option<String>,
     results: Vec<BenchResult>,
     ratios: Vec<(String, f64)>,
+    counters: Vec<(String, f64)>,
 }
 
 impl Runner {
@@ -209,8 +210,7 @@ impl Runner {
         }
         Self {
             json_path,
-            results: Vec::new(),
-            ratios: Vec::new(),
+            ..Self::default()
         }
     }
 
@@ -218,8 +218,7 @@ impl Runner {
     pub fn with_json_path(path: impl Into<String>) -> Self {
         Self {
             json_path: Some(path.into()),
-            results: Vec::new(),
-            ratios: Vec::new(),
+            ..Self::default()
         }
     }
 
@@ -242,6 +241,23 @@ impl Runner {
         println!("{name:<48} {value:>8.2}x");
         self.ratios.push((name.to_string(), value));
         value
+    }
+
+    /// Record a named scalar alongside the timings — cache hit/miss counts,
+    /// sizes, whatever explains the latency numbers. Counters land in the
+    /// JSON document under `counters` and are report-only: `bench_diff`
+    /// never gates on them, but their drift is visible in the artifacts.
+    pub fn counter(&mut self, name: &str, value: f64) {
+        println!("{name:<48} {value:>10.3}");
+        self.counters.push((name.to_string(), value));
+    }
+
+    /// Record a [`CacheStats`](rage_llm::CacheStats) triple under a prefix:
+    /// `<prefix>/hits`, `<prefix>/misses` and `<prefix>/hit_rate`.
+    pub fn cache_counters(&mut self, prefix: &str, stats: rage_llm::CacheStats) {
+        self.counter(&format!("{prefix}/hits"), stats.hits as f64);
+        self.counter(&format!("{prefix}/misses"), stats.misses as f64);
+        self.counter(&format!("{prefix}/hit_rate"), stats.hit_rate());
     }
 
     /// Results recorded so far.
@@ -283,16 +299,17 @@ impl Runner {
                 ])
             })
             .collect();
-        let ratios = self
-            .ratios
-            .iter()
-            .map(|(name, value)| {
-                JsonValue::Object(vec![
-                    ("name".into(), JsonValue::String(name.clone())),
-                    ("value".into(), JsonValue::Number(*value)),
-                ])
-            })
-            .collect();
+        let named_numbers = |pairs: &[(String, f64)]| {
+            pairs
+                .iter()
+                .map(|(name, value)| {
+                    JsonValue::Object(vec![
+                        ("name".into(), JsonValue::String(name.clone())),
+                        ("value".into(), JsonValue::Number(*value)),
+                    ])
+                })
+                .collect::<Vec<_>>()
+        };
         JsonValue::Object(vec![
             (
                 "schema".into(),
@@ -300,7 +317,14 @@ impl Runner {
             ),
             ("fast_mode".into(), JsonValue::Bool(fast_mode())),
             ("benches".into(), JsonValue::Array(benches)),
-            ("ratios".into(), JsonValue::Array(ratios)),
+            (
+                "ratios".into(),
+                JsonValue::Array(named_numbers(&self.ratios)),
+            ),
+            (
+                "counters".into(),
+                JsonValue::Array(named_numbers(&self.counters)),
+            ),
         ])
     }
 
@@ -336,12 +360,20 @@ pub mod workloads {
     }
 
     /// Like [`pipeline_for`] but with a shared [`PrefixCache`] attached to the
-    /// model, so forwards reuse per-`(token, position)` state.
-    pub fn cached_pipeline_for(scenario: &Scenario) -> RagPipeline {
+    /// model, so forwards reuse per-`(token, position)` state. The cache
+    /// handle is returned alongside the pipeline so callers can report
+    /// [`rage_llm::CacheStats`] next to their timings.
+    pub fn cached_pipeline_and_cache_for(scenario: &Scenario) -> (RagPipeline, Arc<PrefixCache>) {
+        let cache = Arc::new(PrefixCache::default());
         let searcher = Searcher::new(IndexBuilder::default().build(&scenario.corpus));
         let llm = SimLlm::new(SimLlmConfig::default().with_prior(scenario.prior.clone()))
-            .with_prefix_cache(Arc::new(PrefixCache::default()));
-        RagPipeline::new(searcher, Arc::new(llm))
+            .with_prefix_cache(Arc::clone(&cache));
+        (RagPipeline::new(searcher, Arc::new(llm)), cache)
+    }
+
+    /// [`cached_pipeline_and_cache_for`] without the stats handle.
+    pub fn cached_pipeline_for(scenario: &Scenario) -> RagPipeline {
+        cached_pipeline_and_cache_for(scenario).0
     }
 
     /// A fresh evaluator (empty cache) over a scenario's retrieved context.
@@ -354,13 +386,25 @@ pub mod workloads {
     }
 
     /// A fresh `threads`-worker parallel evaluator (empty cache, prefix-cached
-    /// model) over a scenario's retrieved context.
-    pub fn parallel_evaluator_for(scenario: &Scenario, threads: usize) -> ParallelEvaluator {
-        let pipeline = cached_pipeline_for(scenario);
+    /// model) over a scenario's retrieved context, with the model's prefix
+    /// cache handle for stats reporting.
+    pub fn parallel_evaluator_and_cache_for(
+        scenario: &Scenario,
+        threads: usize,
+    ) -> (ParallelEvaluator, Arc<PrefixCache>) {
+        let (pipeline, cache) = cached_pipeline_and_cache_for(scenario);
         let response = pipeline
             .ask(&scenario.question, scenario.retrieval_k)
             .expect("scenario question retrieves a context");
-        pipeline.parallel_evaluator(response.context, threads)
+        (
+            pipeline.parallel_evaluator(response.context, threads),
+            cache,
+        )
+    }
+
+    /// [`parallel_evaluator_and_cache_for`] without the stats handle.
+    pub fn parallel_evaluator_for(scenario: &Scenario, threads: usize) -> ParallelEvaluator {
+        parallel_evaluator_and_cache_for(scenario, threads).0
     }
 
     /// A synthetic ranking scenario with `k` sources.
@@ -443,6 +487,15 @@ mod tests {
         let speedup = runner.ratio("case/speedup", &a, &b);
         assert!(speedup > 0.0);
         assert_eq!(runner.results().len(), 2);
+        runner.counter("case/a/cache_hits", 17.0);
+        runner.cache_counters(
+            "case/b/cache",
+            rage_llm::CacheStats {
+                hits: 3,
+                misses: 1,
+                evictions: 0,
+            },
+        );
 
         runner.finish();
         let raw = std::fs::read_to_string(&path).unwrap();
@@ -472,6 +525,27 @@ mod tests {
             ratios[0].get("name").and_then(|n| n.as_str()),
             Some("case/speedup")
         );
+        let counters = match parsed.get("counters") {
+            Some(JsonValue::Array(items)) => items,
+            other => panic!("counters missing: {other:?}"),
+        };
+        assert_eq!(counters.len(), 4);
+        assert_eq!(
+            counters[0].get("name").and_then(|n| n.as_str()),
+            Some("case/a/cache_hits")
+        );
+        assert!(matches!(
+            counters[0].get("value"),
+            Some(JsonValue::Number(n)) if *n == 17.0
+        ));
+        assert_eq!(
+            counters[3].get("name").and_then(|n| n.as_str()),
+            Some("case/b/cache/hit_rate")
+        );
+        assert!(matches!(
+            counters[3].get("value"),
+            Some(JsonValue::Number(n)) if (*n - 0.75).abs() < 1e-12
+        ));
         let _ = std::fs::remove_file(&path);
     }
 

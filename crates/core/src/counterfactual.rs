@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 use rage_assignment::combinations::{complement, CombinationIter};
 use rage_assignment::kendall::kendall_tau;
 use rage_assignment::numeric::factorial;
-use rage_assignment::permutations::permutations_by_similarity;
+use rage_assignment::permutations::SimilarityPermutations;
 
 use crate::answer::answers_equal;
 use crate::error::RageError;
@@ -334,16 +334,18 @@ pub fn find_permutation_counterfactual<E: Evaluate + ?Sized>(
     let space = factorial(k).saturating_sub(1);
     let limit = (budget as u128).min(space) as usize;
 
-    // `permutations_by_similarity` yields the identity first; skip it.
-    let orders: Vec<Vec<usize>> = permutations_by_similarity(k, limit + 1)
-        .into_iter()
-        .skip(1)
-        .collect();
+    // The lazy frontier iterator yields the identity first; skip it. Orders
+    // are pulled one evaluation window at a time, so only the current window
+    // (plus the iterator's current inversion level) is ever materialised —
+    // an early answer flip never pays for the deeper levels.
+    let mut orders = SimilarityPermutations::new(k).skip(1).take(limit);
     let mut candidates = 0usize;
-    let mut next = 0usize;
-    while next < orders.len() {
-        let end = (next + window).min(orders.len());
-        let batch: Vec<Perturbation> = orders[next..end]
+    loop {
+        let window_orders: Vec<Vec<usize>> = orders.by_ref().take(window).collect();
+        if window_orders.is_empty() {
+            break;
+        }
+        let batch: Vec<Perturbation> = window_orders
             .iter()
             .map(|order| Perturbation::Permutation(order.clone()))
             .collect();
@@ -352,7 +354,7 @@ pub fn find_permutation_counterfactual<E: Evaluate + ?Sized>(
             let answer = result?.answer;
             candidates += 1;
             if !answers_equal(&answer, &baseline) {
-                let order = orders[next + offset].clone();
+                let order = window_orders[offset].clone();
                 let tau = kendall_tau(&order);
                 return Ok(PermutationOutcome {
                     counterfactual: Some(PermutationCounterfactual {
@@ -369,7 +371,6 @@ pub fn find_permutation_counterfactual<E: Evaluate + ?Sized>(
                 });
             }
         }
-        next = end;
         window = ramped(window, max_window);
     }
 

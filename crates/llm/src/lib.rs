@@ -35,11 +35,31 @@
 //! Everything is deterministic given the model seed, which keeps explanations and tests
 //! reproducible.
 //!
+//! ## The kernel layer and its bit-identity contract
+//!
+//! Explanation search evaluates hundreds of perturbed prompts per report, and each
+//! forward pass is dominated by the `O(tokens²)` attention score/softmax/mix loops.
+//! Those loops live in [`kernels`]: fused, cache-blocked implementations over flat
+//! row-major buffers that the production [`Transformer::forward`](transformer::Transformer::forward)
+//! path runs on. The contract is strict **bit-identity** — every kernel performs the
+//! same IEEE-754 operations in the same per-scalar order as the straight-line
+//! reference implementation
+//! ([`Transformer::forward_reference`](transformer::Transformer::forward_reference),
+//! kept compiled as the oracle), so enabling the kernels can never change an answer,
+//! an attention read-out, a golden snapshot, or a prefix-cache guarantee. The
+//! differential suite in `tests/kernel_equivalence.rs` enforces the contract down to
+//! `f64::to_bits` across randomised prompts, model shapes, cache states and
+//! multi-threaded evaluator runs, in both debug and release codegen. Any behavioural
+//! change to the forward pass must therefore be made in *both* implementations — the
+//! suite fails loudly otherwise.
+//!
 //! ## Crate layout
 //!
 //! * [`tokenizer`] — word-level tokenizer with a hashing vocabulary.
 //! * [`embedding`] — deterministic token and positional embeddings.
 //! * [`cache`] — the prefix/attention KV cache shared across perturbed forwards.
+//! * [`kernels`] — fused, blocked inner loops for the attention hot path (bit-identical
+//!   to the reference by contract).
 //! * [`transformer`] — the attention stack and its recorded attention tensors.
 //! * [`attention`] — per-source attention aggregation (sum over layers/heads/tokens).
 //! * [`position_bias`] — parametric context-position priors ("lost in the middle" et al.).
@@ -73,6 +93,7 @@ pub mod attention;
 pub mod cache;
 pub mod embedding;
 pub mod extraction;
+pub mod kernels;
 pub mod knowledge;
 pub mod model;
 pub mod position_bias;

@@ -95,6 +95,7 @@ pub struct SimLlm {
     tokenizer: SimTokenizer,
     transformer: Transformer,
     prefix_cache: Option<Arc<PrefixCache>>,
+    use_reference_forward: bool,
 }
 
 impl SimLlm {
@@ -106,6 +107,7 @@ impl SimLlm {
             tokenizer: SimTokenizer::new(),
             transformer,
             prefix_cache: None,
+            use_reference_forward: false,
         }
     }
 
@@ -128,6 +130,30 @@ impl SimLlm {
         self.prefix_cache.as_ref()
     }
 
+    /// Hit/miss/eviction counters of the attached prefix cache, if any.
+    ///
+    /// Surfaced so harnesses and benches can report cache effectiveness
+    /// alongside timings without reaching into the cache handle themselves.
+    pub fn prefix_cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.prefix_cache.as_ref().map(|cache| cache.stats())
+    }
+
+    /// Route forward passes through the straight-line
+    /// [`Transformer::forward_reference`] oracle instead of the fused
+    /// kernels.
+    ///
+    /// The two paths are bit-identical by contract (see the
+    /// [`kernels`](crate::kernels) module docs), so this switch can never
+    /// change behaviour — it exists so the differential test suite can run
+    /// whole pipelines and evaluators against the reference implementation
+    /// and assert full-report equality. Production code has no reason to
+    /// turn it on: the reference path allocates per query position and is
+    /// several times slower.
+    pub fn with_reference_forward(mut self) -> Self {
+        self.use_reference_forward = true;
+        self
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &SimLlmConfig {
         &self.config
@@ -141,9 +167,13 @@ impl SimLlm {
         if k == 0 {
             return (Vec::new(), prompt.len());
         }
-        let record = self
-            .transformer
-            .forward_cached(&prompt, self.prefix_cache.as_deref());
+        let record = if self.use_reference_forward {
+            self.transformer
+                .forward_reference(&prompt, self.prefix_cache.as_deref())
+        } else {
+            self.transformer
+                .forward_cached(&prompt, self.prefix_cache.as_deref())
+        };
         let content = aggregate_question_to_source_attention(&record, &prompt).normalised();
 
         let mut effective: Vec<f64> = (0..k)

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::PrefixCache;
 use crate::embedding::{dot, normalize, Embedder, EmbeddingConfig};
+use crate::kernels;
 use crate::tokenizer::TokenizedPrompt;
 
 /// Configuration of the attention stack.
@@ -77,6 +78,11 @@ impl Matrix {
     /// One row as a slice.
     pub fn row(&self, r: usize) -> &[f64] {
         &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 }
 
@@ -188,7 +194,140 @@ impl Transformer {
     /// embedding). Deeper layers depend on the whole sequence and are always
     /// recomputed, so the returned [`AttentionRecord`] is bit-identical to an
     /// uncached forward pass.
+    ///
+    /// This is the production path, implemented on the fused [`kernels`]:
+    /// flat row-major buffers, blocked inner loops, and a mirrored score
+    /// matrix (the pre-softmax score `dot(pᵩ, pₖ)·scale` is bit-symmetric in
+    /// `q`/`k`, so only the upper triangle is computed). The result is
+    /// guaranteed bit-identical to [`Transformer::forward_reference`] — see
+    /// the [`kernels`] module docs for the contract and
+    /// `tests/kernel_equivalence.rs` for its enforcement.
     pub fn forward_cached(
+        &self,
+        prompt: &TokenizedPrompt,
+        cache: Option<&PrefixCache>,
+    ) -> AttentionRecord {
+        let n = prompt.len();
+        if n == 0 {
+            return AttentionRecord {
+                layers: Vec::new(),
+                seq_len: 0,
+            };
+        }
+        let dim = self.config.dim;
+        let heads_f = self.config.heads as f64;
+        let head_dim = self.projections[0][0].rows;
+
+        // Flat row-major hidden states, one `dim` row per token.
+        let mut hidden = vec![0.0f64; n * dim];
+        match cache {
+            Some(cache) => {
+                for (pos, token) in prompt.tokens.iter().enumerate() {
+                    let row = cache.embedding(token.id, pos, || self.embedder.embed(token.id, pos));
+                    hidden[pos * dim..(pos + 1) * dim].copy_from_slice(&row);
+                }
+            }
+            None => {
+                for (pos, token) in prompt.tokens.iter().enumerate() {
+                    let row = self.embedder.embed(token.id, pos);
+                    hidden[pos * dim..(pos + 1) * dim].copy_from_slice(&row);
+                }
+            }
+        }
+
+        // Scratch buffers reused across layers and heads.
+        let mut projected = vec![0.0f64; n * head_dim];
+        let mut mixed = vec![0.0f64; n * dim];
+        let mut scores = vec![0.0f64; n * n];
+
+        let mut layers = Vec::with_capacity(self.config.layers);
+        for layer in 0..self.config.layers {
+            let mut head_matrices = Vec::with_capacity(self.config.heads);
+            mixed.fill(0.0);
+
+            for head in 0..self.config.heads {
+                // Shared Q/K state into the flat buffer: at layer 0 the
+                // projection input is the (token, position) embedding, so the
+                // projected vector can be reused across prompts via the
+                // prefix cache.
+                match cache {
+                    Some(cache) if layer == 0 => {
+                        for (pos, token) in prompt.tokens.iter().enumerate() {
+                            let row = cache.layer0_projection(head, token.id, pos, || {
+                                self.project(layer, head, &hidden[pos * dim..(pos + 1) * dim])
+                            });
+                            projected[pos * head_dim..(pos + 1) * head_dim].copy_from_slice(&row);
+                        }
+                    }
+                    _ => {
+                        let proj = &self.projections[layer][head];
+                        for pos in 0..n {
+                            kernels::matvec_into(
+                                &proj.data,
+                                proj.rows,
+                                proj.cols,
+                                &hidden[pos * dim..(pos + 1) * dim],
+                                &mut projected[pos * head_dim..(pos + 1) * head_dim],
+                            );
+                        }
+                    }
+                }
+                let scale = 1.0 / ((head_dim as f64).sqrt() * self.config.temperature);
+
+                // Pre-softmax scores. `dot(pᵩ, pₖ)` performs the same
+                // multiply/add sequence as `dot(pₖ, pᵩ)`, so the matrix is
+                // bit-symmetric: compute the upper triangle, mirror the rest.
+                for q in 0..n {
+                    for k in 0..q {
+                        scores[q * n + k] = scores[k * n + q];
+                    }
+                    kernels::scores_into(
+                        &projected[q * head_dim..(q + 1) * head_dim],
+                        &projected[q * head_dim..n * head_dim],
+                        head_dim,
+                        scale,
+                        &mut scores[q * n + q..(q + 1) * n],
+                    );
+                }
+
+                let mut attn = Matrix::zeros(n, n);
+                for q in 0..n {
+                    // Fused softmax + value mix over the query's weight row.
+                    let row = attn.row_mut(q);
+                    row.copy_from_slice(&scores[q * n..(q + 1) * n]);
+                    let sum = kernels::softmax_exp_inplace(row);
+                    kernels::weights_inplace(row, sum);
+                    kernels::mix_accumulate(
+                        row,
+                        &hidden,
+                        dim,
+                        heads_f,
+                        &mut mixed[q * dim..(q + 1) * dim],
+                    );
+                }
+                head_matrices.push(attn);
+            }
+
+            kernels::residual_normalize(&mut hidden, &mixed, dim);
+            layers.push(LayerAttention {
+                heads: head_matrices,
+            });
+        }
+
+        AttentionRecord { layers, seq_len: n }
+    }
+
+    /// The straight-line reference forward pass — the oracle the fused
+    /// kernels are differentially tested against.
+    ///
+    /// This is the original (pre-kernel) implementation, kept compiled and
+    /// public on purpose: `tests/kernel_equivalence.rs` asserts that
+    /// [`Transformer::forward_cached`] matches it down to `f64::to_bits` for
+    /// every prompt, configuration and cache state. It is not intended for
+    /// production use — it allocates per query position and chases
+    /// `Vec<Vec<f64>>` pointers — but any behavioural change to the forward
+    /// pass must be made here *and* in the kernels, keeping both in lockstep.
+    pub fn forward_reference(
         &self,
         prompt: &TokenizedPrompt,
         cache: Option<&PrefixCache>,
