@@ -1,8 +1,20 @@
-//! E9: index construction and query latency at growing corpus sizes.
+//! E9: index construction and query latency at growing corpus sizes, single vs
+//! sharded.
+//!
+//! The sharded cases partition the same corpus into N per-shard indexes (parallel
+//! build) and merge per-shard top-k selections at query time; results are identical to
+//! the single index by contract, so the interesting output is purely the timing —
+//! `build/.../shards=N` vs `build/...` and `query/.../shards=N` vs `query/...`, plus
+//! the recorded `single/sharded` ratios. On a single-CPU runner the sharded build
+//! ratio hovers near (or below) 1×; on a multicore runner the per-shard worker
+//! threads should push it well above.
 
 use rage_bench::{black_box, scaled, section, Runner};
+use rage_datasets::large_corpus::{self, LargeCorpusConfig};
 use rage_datasets::synthetic::{filler_corpus, filler_queries, FillerConfig};
-use rage_retrieval::{IndexBuilder, Searcher};
+use rage_retrieval::{IndexBuilder, Searcher, ShardedIndexBuilder, ShardedSearcher};
+
+const SHARD_COUNTS: &[usize] = &[2, 4, 8];
 
 fn main() {
     let mut runner = Runner::from_args();
@@ -17,6 +29,34 @@ fn main() {
         runner.bench(&format!("build/docs={num_docs}"), scaled(10), || {
             black_box(IndexBuilder::default().build(&corpus));
         });
+    }
+
+    section("retrieval: sharded index build");
+    {
+        let num_docs = 5_000usize;
+        let config = FillerConfig {
+            num_docs,
+            ..FillerConfig::default()
+        };
+        let corpus = filler_corpus(config);
+        let single = runner.bench(&format!("build/docs={num_docs}/single"), scaled(10), || {
+            black_box(IndexBuilder::default().build(&corpus));
+        });
+        for &shards in SHARD_COUNTS {
+            let builder = ShardedIndexBuilder::new(shards);
+            let result = runner.bench(
+                &format!("build/docs={num_docs}/shards={shards}"),
+                scaled(10),
+                || {
+                    black_box(builder.build(&corpus));
+                },
+            );
+            runner.ratio(
+                &format!("build-speedup/docs={num_docs}/shards={shards}"),
+                &single,
+                &result,
+            );
+        }
     }
 
     section("retrieval: top-5 query");
@@ -34,6 +74,92 @@ fn main() {
             next += 1;
             black_box(searcher.search(query, 5));
         });
+    }
+
+    section("retrieval: sharded top-5 query");
+    {
+        let num_docs = 5_000usize;
+        let config = FillerConfig {
+            num_docs,
+            ..FillerConfig::default()
+        };
+        let corpus = filler_corpus(config);
+        let queries = filler_queries(config, 32);
+        let single_searcher = Searcher::new(IndexBuilder::default().build(&corpus));
+        let mut next = 0usize;
+        let single = runner.bench(
+            &format!("query/docs={num_docs}/single"),
+            scaled(200),
+            || {
+                let query = &queries[next % queries.len()];
+                next += 1;
+                black_box(single_searcher.search(query, 5));
+            },
+        );
+        for &shards in SHARD_COUNTS {
+            let sharded = ShardedSearcher::from_corpus(&corpus, shards);
+            let mut next = 0usize;
+            let result = runner.bench(
+                &format!("query/docs={num_docs}/shards={shards}"),
+                scaled(200),
+                || {
+                    let query = &queries[next % queries.len()];
+                    next += 1;
+                    black_box(sharded.search(query, 5));
+                },
+            );
+            runner.ratio(
+                &format!("query-speedup/docs={num_docs}/shards={shards}"),
+                &single,
+                &result,
+            );
+        }
+    }
+
+    // The registry's large-corpus scenario: the realistic needle-in-a-haystack
+    // workload (signal documents spread through 2k+ filler documents) instead of
+    // uniform filler. Index build plus the scenario's own retrieval query.
+    section("retrieval: large-corpus scenario");
+    {
+        let scenario = large_corpus::scenario(LargeCorpusConfig::default());
+        let n = scenario.corpus_size();
+        runner.bench(
+            &format!("large-corpus/build/docs={n}/single"),
+            scaled(10),
+            || {
+                black_box(IndexBuilder::default().build(&scenario.corpus));
+            },
+        );
+        let builder = ShardedIndexBuilder::new(8);
+        runner.bench(
+            &format!("large-corpus/build/docs={n}/shards=8"),
+            scaled(10),
+            || {
+                black_box(builder.build(&scenario.corpus));
+            },
+        );
+
+        let single = Searcher::new(IndexBuilder::default().build(&scenario.corpus));
+        let sharded = ShardedSearcher::from_corpus(&scenario.corpus, 8);
+        assert_eq!(
+            single.search(&scenario.question, scenario.retrieval_k),
+            sharded.search(&scenario.question, scenario.retrieval_k),
+            "sharded results must be identical to single-index results"
+        );
+        runner.bench(
+            &format!("large-corpus/query/docs={n}/single"),
+            scaled(500),
+            || {
+                black_box(single.search(&scenario.question, scenario.retrieval_k));
+            },
+        );
+        runner.bench(
+            &format!("large-corpus/query/docs={n}/shards=8"),
+            scaled(500),
+            || {
+                black_box(sharded.search(&scenario.question, scenario.retrieval_k));
+            },
+        );
     }
 
     runner.finish();

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use rage_llm::{Generation, LanguageModel};
-use rage_retrieval::Searcher;
+use rage_retrieval::{Retriever, Searcher};
 
 use crate::context::Context;
 use crate::error::RageError;
@@ -41,17 +41,25 @@ impl RagResponse {
 }
 
 /// Retrieval + prompt assembly + LLM inference.
-pub struct RagPipeline {
-    searcher: Searcher,
+///
+/// Generic over the retrieval backend: any [`Retriever`] plugs in — the single-index
+/// [`Searcher`] (the default type parameter, so existing `RagPipeline` signatures keep
+/// working unchanged), the partitioned
+/// [`ShardedSearcher`](rage_retrieval::ShardedSearcher), or a boxed `dyn Retriever`
+/// when the backend is chosen at runtime. Because both shipped backends produce
+/// identical rankings (see the `rage_retrieval::sharded` docs), explanations built
+/// through a sharded pipeline are equal to the single-index ones.
+pub struct RagPipeline<R: Retriever = Searcher> {
+    retriever: R,
     llm: Arc<dyn LanguageModel>,
     prompt_builder: PromptBuilder,
 }
 
-impl RagPipeline {
-    /// Build a pipeline from a searcher and a language model.
-    pub fn new(searcher: Searcher, llm: Arc<dyn LanguageModel>) -> Self {
+impl<R: Retriever> RagPipeline<R> {
+    /// Build a pipeline from a retrieval backend and a language model.
+    pub fn new(retriever: R, llm: Arc<dyn LanguageModel>) -> Self {
         Self {
-            searcher,
+            retriever,
             llm,
             prompt_builder: PromptBuilder::default(),
         }
@@ -64,8 +72,14 @@ impl RagPipeline {
     }
 
     /// The retrieval component.
-    pub fn searcher(&self) -> &Searcher {
-        &self.searcher
+    pub fn retriever(&self) -> &R {
+        &self.retriever
+    }
+
+    /// The retrieval component (alias for [`RagPipeline::retriever`], kept from the
+    /// era when the pipeline was hardwired to the single-index [`Searcher`]).
+    pub fn searcher(&self) -> &R {
+        &self.retriever
     }
 
     /// The language model (shared handle).
@@ -83,7 +97,7 @@ impl RagPipeline {
     /// Fails with [`RageError::EmptyContext`] when nothing relevant is retrieved, since
     /// there would be no context to explain.
     pub fn ask(&self, query: &str, k: usize) -> Result<RagResponse, RageError> {
-        let hits = self.searcher.try_search(query, k)?;
+        let hits = self.retriever.try_search(query, k)?;
         if hits.is_empty() {
             return Err(RageError::EmptyContext {
                 query: query.to_string(),
@@ -119,7 +133,7 @@ impl RagPipeline {
         let contexts: Vec<Result<Context, RageError>> = queries
             .iter()
             .map(|query| {
-                let hits = self.searcher.try_search(query, k)?;
+                let hits = self.retriever.try_search(query, k)?;
                 if hits.is_empty() {
                     return Err(RageError::EmptyContext {
                         query: (*query).to_string(),
@@ -256,6 +270,53 @@ mod tests {
         );
         let response = p.answer_with_context(context).unwrap();
         assert_eq!(response.answer(), "Roger Federer");
+    }
+
+    #[test]
+    fn sharded_retriever_is_a_drop_in_replacement() {
+        use rage_retrieval::ShardedSearcher;
+        let mut corpus = Corpus::new();
+        corpus.push(Document::new(
+            "slams",
+            "Grand slams",
+            "Novak Djokovic holds the most grand slam titles with 24.",
+        ));
+        corpus.push(Document::new(
+            "wins",
+            "Match wins",
+            "Roger Federer leads total match wins with 369 victories.",
+        ));
+        corpus.push(Document::new(
+            "pasta",
+            "Cooking",
+            "Boil the pasta in salted water until al dente.",
+        ));
+        let llm = Arc::new(SimLlm::new(SimLlmConfig::default()));
+        let single = RagPipeline::new(
+            Searcher::new(IndexBuilder::default().build(&corpus)),
+            llm.clone(),
+        );
+        for shards in [1, 2, 3, 5] {
+            let sharded =
+                RagPipeline::new(ShardedSearcher::from_corpus(&corpus, shards), llm.clone());
+            let query = "Who holds the most grand slam titles?";
+            assert_eq!(
+                single.ask(query, 2).unwrap(),
+                sharded.ask(query, 2).unwrap(),
+                "shards={shards}"
+            );
+        }
+        // A boxed dynamic retriever works too (backend chosen at runtime).
+        let boxed: Box<dyn rage_retrieval::Retriever> =
+            Box::new(ShardedSearcher::from_corpus(&corpus, 2));
+        let dynamic = RagPipeline::new(boxed, llm.clone());
+        assert_eq!(
+            dynamic
+                .ask("Who leads total match wins?", 1)
+                .unwrap()
+                .answer(),
+            "Roger Federer"
+        );
     }
 
     #[test]

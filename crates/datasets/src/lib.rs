@@ -17,14 +17,39 @@
 //!   (E5–E10) and property tests.
 //! * [`scenario`] — the [`Scenario`](scenario::Scenario) bundle tying a corpus to its
 //!   question, retrieval depth, prior knowledge and expected behaviour.
+//!
+//! Beyond the paper's use cases, three stress scenarios grow the collection past the
+//! original demos:
+//!
+//! * [`large_corpus`] — a seeded ≥2k-document needle-in-a-haystack corpus, the standard
+//!   workload for sharded retrieval equivalence checks and benchmarks.
+//! * [`multi_hop`] — a question whose answer composes two documents (tournament result
+//!   + champion→coach link), with a distractor coach ready to take over.
+//! * [`adversarial`] — near-duplicate documents asserting contradictory facts, with
+//!   exactly tied BM25 scores.
+//!
+//! ## The scenario registry
+//!
+//! All of the above are registered in the [`ScenarioRegistry`](registry::ScenarioRegistry)
+//! (`ScenarioRegistry::builtin()`): a name → (builder, summary, docs) table with
+//! parameterised builders ([`ScenarioParams`](registry::ScenarioParams) carries seed /
+//! size / retrieval-depth overrides). Consumers — the `report` CLI, smoke jobs, golden
+//! tests — enumerate the registry instead of hardcoding scenario lists, so a new
+//! scenario is one `register` call away from being rendered, smoke-tested and
+//! snapshotted. See the [`registry`] module docs for the add-a-scenario walkthrough.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod big_three;
+pub mod large_corpus;
+pub mod multi_hop;
+pub mod registry;
 pub mod scenario;
 pub mod synthetic;
 pub mod timeline;
 pub mod us_open;
 
+pub use registry::{ScenarioEntry, ScenarioParams, ScenarioRegistry};
 pub use scenario::Scenario;

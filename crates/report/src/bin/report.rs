@@ -2,18 +2,22 @@
 //! reports over the demonstration scenarios.
 //!
 //! ```text
-//! report --scenario <us_open|big_three|timeline|synthetic> \
-//!        --format <md|json|html> [--out PATH]
+//! report --scenario <name> --format <md|json|html> [--out PATH] [--shards N]
+//! report --list-scenarios
 //! report diff A.json B.json [--format <md|json>]
 //! report smoke
 //! ```
 //!
 //! `report` (no subcommand) runs the full explanation pipeline over one
 //! scenario and renders the result; with `--out` the rendering is written to
-//! a file, otherwise it goes to stdout. `report diff` decodes two saved JSON
+//! a file, otherwise it goes to stdout, and with `--shards N` retrieval runs
+//! through an N-way [`rage_retrieval::ShardedSearcher`] (the report is equal
+//! either way — sharding never changes results). Scenario names come from the
+//! shared [`rage_datasets::ScenarioRegistry`]; `--list-scenarios` prints them
+//! with their one-line summaries. `report diff` decodes two saved JSON
 //! reports and prints their [`rage_report::ReportDiff`]. `report smoke` is
-//! the CI entry point: it renders every scenario in all three formats,
-//! asserts the structured round-trip invariants
+//! the CI entry point: it iterates the whole registry, renders every scenario
+//! in all three formats, asserts the structured round-trip invariants
 //! (`parse(render(to_json(r))) == to_json(r)` and `from_json(to_json(r)) == r`)
 //! and, with `--out-dir DIR`, writes the renderings it computed as
 //! `DIR/<scenario>.<md|json|html>` artifacts.
@@ -22,18 +26,28 @@ use std::process::ExitCode;
 
 use rage_core::explanation::ReportConfig;
 use rage_json::JsonValue;
-use rage_report::scenarios::{self, SCENARIO_NAMES};
+use rage_report::scenarios::{self, scenario_names};
 use rage_report::{diff, from_json, render_html, render_markdown, to_json};
 
 fn usage() -> String {
     format!(
-        "usage:\n  report --scenario <{}> --format <md|json|html> [--out PATH]\n  \
+        "usage:\n  report --scenario <{}> --format <md|json|html> [--out PATH] [--shards N]\n  \
+         report --list-scenarios\n  \
          report diff <A.json> <B.json> [--format <md|json>]\n  \
          report smoke [--out-dir DIR]\n\
          \ndiff exits 0 when the reports are identical, 1 when they differ, \
          2 on errors.\n",
-        SCENARIO_NAMES.join("|")
+        scenario_names().join("|")
     )
+}
+
+/// `--list-scenarios`: names and one-line summaries straight from the registry.
+fn list_scenarios() {
+    let registry = scenarios::registry();
+    let width = registry.names().iter().map(|n| n.len()).max().unwrap_or(0);
+    for entry in registry.iter() {
+        println!("{:width$}  {}", entry.name(), entry.summary());
+    }
 }
 
 /// The value following `args[i]` (a `--flag value` pair).
@@ -66,6 +80,7 @@ fn render_scenario(args: &[String]) -> Result<(), String> {
     let mut scenario_name: Option<String> = None;
     let mut format = "md".to_string();
     let mut out: Option<String> = None;
+    let mut shards: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -81,6 +96,17 @@ fn render_scenario(args: &[String]) -> Result<(), String> {
                 out = Some(take_value(args, i, "--out")?);
                 i += 2;
             }
+            "--shards" => {
+                let value = take_value(args, i, "--shards")?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("--shards needs a positive integer, got {value:?}"))?;
+                if parsed == 0 {
+                    return Err("--shards needs a positive integer, got 0".to_string());
+                }
+                shards = Some(parsed);
+                i += 2;
+            }
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
@@ -88,10 +114,16 @@ fn render_scenario(args: &[String]) -> Result<(), String> {
         scenario_name.ok_or_else(|| format!("--scenario is required\n{}", usage()))?;
 
     let scenario = scenarios::scenario_by_name(&scenario_name).ok_or_else(|| {
-        format!("unknown scenario {scenario_name:?} (one of: {SCENARIO_NAMES:?})")
+        format!(
+            "unknown scenario {scenario_name:?} (one of: {})",
+            scenario_names().join(", ")
+        )
     })?;
-    let report = scenarios::report_for(&scenario, &ReportConfig::default())
-        .map_err(|err| format!("explanation failed for {scenario_name}: {err}"))?;
+    let report = match shards {
+        Some(n) => scenarios::report_for_sharded(&scenario, &ReportConfig::default(), n),
+        None => scenarios::report_for(&scenario, &ReportConfig::default()),
+    }
+    .map_err(|err| format!("explanation failed for {scenario_name}: {err}"))?;
 
     let rendering = match format.as_str() {
         "md" | "markdown" => render_markdown(&report),
@@ -159,7 +191,7 @@ fn run_smoke(args: &[String]) -> Result<(), String> {
         std::fs::create_dir_all(dir).map_err(|err| format!("cannot create {dir}: {err}"))?;
     }
 
-    for name in SCENARIO_NAMES {
+    for name in scenario_names() {
         let scenario = scenarios::scenario_by_name(name).expect("built-in name");
         let report = scenarios::report_for(&scenario, &ReportConfig::default())
             .map_err(|err| format!("{name}: explanation failed: {err}"))?;
@@ -206,6 +238,10 @@ fn main() -> ExitCode {
     let outcome = match args.first().map(String::as_str) {
         None | Some("--help" | "-h" | "help") => {
             print!("{}", usage());
+            Ok(())
+        }
+        Some("--list-scenarios") => {
+            list_scenarios();
             Ok(())
         }
         // GNU-diff-style exit codes so CI gates can trip on drift: 0 when the

@@ -68,15 +68,21 @@
 //!
 //! ## Command line
 //!
-//! The crate ships a `report` binary:
+//! The crate ships a `report` binary; scenario names come from the shared
+//! [`rage_datasets::ScenarioRegistry`] (see [`scenarios`]):
 //!
 //! ```text
-//! report --scenario <us_open|big_three|timeline|synthetic> \
-//!        --format <md|json|html> [--out PATH]   # render one scenario
+//! report --scenario <name> --format <md|json|html> \
+//!        [--out PATH] [--shards N]               # render one scenario
+//! report --list-scenarios                        # registry names + summaries
 //! report diff A.json B.json [--format <md|json>] # compare two saved reports
-//! report smoke                                   # all scenarios × formats +
+//! report smoke                                   # whole registry × formats +
 //!                                                # round-trip checks (CI)
 //! ```
+//!
+//! `--shards N` retrieves through an N-way sharded index; the rendered report
+//! is equal to the single-index one for every shard count (pinned by
+//! `tests/sharded.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,36 +1,58 @@
 //! Demonstration-scenario plumbing shared by the `report` binary and tests.
 //!
-//! Maps the four scenario names the CLI accepts onto [`rage_datasets`]
-//! generators and runs a full explanation over one of them with the standard
-//! pipeline (BM25 retrieval + prior-seeded [`SimLlm`]), exactly like the
-//! paper's demo backend.
+//! All scenario wiring is registry-driven: the shared
+//! [`ScenarioRegistry`](rage_datasets::ScenarioRegistry) (see [`registry`]) maps CLI
+//! names onto [`rage_datasets`] generators with their metadata, so the binary, the
+//! smoke job and the golden tests enumerate one source of truth instead of a hardcoded
+//! list. [`report_for`] runs a full explanation over a scenario with the standard
+//! pipeline (BM25 retrieval + prior-seeded [`SimLlm`]), exactly like the paper's demo
+//! backend; [`report_for_sharded`] does the same through partitioned retrieval and —
+//! because sharded rankings are identical to single-index ones — produces an *equal*
+//! report, which `tests/sharded.rs` pins.
 
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 use rage_core::explanation::ReportConfig;
 use rage_core::{RagPipeline, RageError, RageReport};
-use rage_datasets::{big_three, synthetic, timeline, us_open, Scenario};
+use rage_datasets::{Scenario, ScenarioRegistry};
 use rage_llm::model::{SimLlm, SimLlmConfig};
-use rage_retrieval::{IndexBuilder, Searcher};
+use rage_retrieval::{IndexBuilder, Retriever, Searcher, ShardedSearcher};
+
+/// The shared scenario registry (built once, in presentation order).
+pub fn registry() -> &'static ScenarioRegistry {
+    static REGISTRY: OnceLock<ScenarioRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(ScenarioRegistry::builtin)
+}
 
 /// The scenario names the CLI accepts, in presentation order.
-pub const SCENARIO_NAMES: [&str; 4] = ["us_open", "big_three", "timeline", "synthetic"];
+pub fn scenario_names() -> Vec<&'static str> {
+    registry().names()
+}
 
 /// Look up a demonstration scenario by CLI name.
 ///
-/// Accepts `-` and `_` interchangeably (`us-open` == `us_open`). `synthetic`
-/// maps to the default seeded [`synthetic::ranking_scenario`]. Returns `None`
-/// for unknown names.
+/// Accepts `-` and `_` interchangeably (`us-open` == `us_open`). Returns `None` for
+/// unknown names; the registry's [`names`](ScenarioRegistry::names) make a good
+/// suggestion list in that case.
 pub fn scenario_by_name(name: &str) -> Option<Scenario> {
-    match name.replace('-', "_").as_str() {
-        "us_open" => Some(us_open::scenario()),
-        "big_three" => Some(big_three::scenario()),
-        "timeline" => Some(timeline::scenario()),
-        "synthetic" => Some(synthetic::ranking_scenario(
-            synthetic::RankingConfig::default(),
-        )),
-        _ => None,
-    }
+    registry().build(name)
+}
+
+/// Run the full RAGE explanation over a scenario through any retrieval backend.
+///
+/// This is the generic engine behind [`report_for`] and [`report_for_sharded`]; the
+/// backend only influences retrieval, so two backends with identical rankings yield
+/// equal reports.
+pub fn report_with_retriever<R: Retriever>(
+    scenario: &Scenario,
+    config: &ReportConfig,
+    retriever: R,
+) -> Result<RageReport, RageError> {
+    let llm = SimLlm::new(SimLlmConfig::default().with_prior(scenario.prior.clone()));
+    let pipeline = RagPipeline::new(retriever, Arc::new(llm));
+    let (_, evaluator) = pipeline.ask_and_explain(&scenario.question, scenario.retrieval_k)?;
+    RageReport::generate(&evaluator, config)
 }
 
 /// Run the full RAGE explanation over a scenario and assemble its report.
@@ -40,10 +62,22 @@ pub fn scenario_by_name(name: &str) -> Option<Scenario> {
 /// identical report (this is what the golden-snapshot tests pin).
 pub fn report_for(scenario: &Scenario, config: &ReportConfig) -> Result<RageReport, RageError> {
     let searcher = Searcher::new(IndexBuilder::default().build(&scenario.corpus));
-    let llm = SimLlm::new(SimLlmConfig::default().with_prior(scenario.prior.clone()));
-    let pipeline = RagPipeline::new(searcher, Arc::new(llm));
-    let (_, evaluator) = pipeline.ask_and_explain(&scenario.question, scenario.retrieval_k)?;
-    RageReport::generate(&evaluator, config)
+    report_with_retriever(scenario, config, searcher)
+}
+
+/// Like [`report_for`], but retrieving through a [`ShardedSearcher`] over
+/// `num_shards` partitions.
+///
+/// Sharded retrieval returns bit-identical scores and identical orderings to the
+/// single index, so the resulting report is equal to [`report_for`]'s for every shard
+/// count — sharding is a deployment decision, not a behaviour change.
+pub fn report_for_sharded(
+    scenario: &Scenario,
+    config: &ReportConfig,
+    num_shards: usize,
+) -> Result<RageReport, RageError> {
+    let searcher = ShardedSearcher::from_corpus(&scenario.corpus, num_shards);
+    report_with_retriever(scenario, config, searcher)
 }
 
 #[cfg(test)]
@@ -52,11 +86,30 @@ mod tests {
 
     #[test]
     fn every_cli_name_resolves() {
-        for name in SCENARIO_NAMES {
+        for name in scenario_names() {
             assert!(scenario_by_name(name).is_some(), "{name}");
         }
         assert!(scenario_by_name("us-open").is_some());
         assert!(scenario_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn registry_lists_old_and_new_scenarios() {
+        let names = scenario_names();
+        for expected in [
+            "us_open",
+            "big_three",
+            "timeline",
+            "synthetic",
+            "large_corpus",
+            "multi_hop",
+            "adversarial",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "{expected} missing from registry"
+            );
+        }
     }
 
     #[test]
@@ -66,10 +119,23 @@ mod tests {
             permutation_budget: Some(16),
             ..ReportConfig::default()
         };
-        for name in SCENARIO_NAMES {
+        for name in scenario_names() {
             let scenario = scenario_by_name(name).unwrap();
             let report = report_for(&scenario, &config).unwrap();
             assert!(!report.full_context_answer.is_empty(), "{name}");
         }
+    }
+
+    #[test]
+    fn sharded_report_equals_single_index_report() {
+        let config = ReportConfig {
+            insight_samples: 4,
+            permutation_budget: Some(16),
+            ..ReportConfig::default()
+        };
+        let scenario = scenario_by_name("us_open").unwrap();
+        let single = report_for(&scenario, &config).unwrap();
+        let sharded = report_for_sharded(&scenario, &config, 3).unwrap();
+        assert_eq!(single, sharded);
     }
 }

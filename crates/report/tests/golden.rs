@@ -1,5 +1,5 @@
-//! Golden-snapshot tests: pin the markdown and JSON renderings of all four
-//! demonstration scenarios byte-for-byte.
+//! Golden-snapshot tests: pin the markdown and JSON renderings of every registered
+//! demonstration scenario byte-for-byte.
 //!
 //! Every report here is fully deterministic (seeded retrieval, simulated LLM
 //! and insight sampling), so any diff in these snapshots is a real behaviour
@@ -19,7 +19,7 @@ use std::fs;
 use std::path::PathBuf;
 
 use rage_core::explanation::ReportConfig;
-use rage_report::scenarios::{report_for, scenario_by_name, SCENARIO_NAMES};
+use rage_report::scenarios::{report_for, scenario_by_name, scenario_names};
 use rage_report::{render_markdown, to_json};
 
 fn snapshot_path(name: &str, ext: &str) -> PathBuf {
@@ -76,10 +76,25 @@ fn synthetic_snapshots_are_stable() {
 }
 
 #[test]
+fn large_corpus_snapshots_are_stable() {
+    check_scenario("large_corpus");
+}
+
+#[test]
+fn multi_hop_snapshots_are_stable() {
+    check_scenario("multi_hop");
+}
+
+#[test]
+fn adversarial_snapshots_are_stable() {
+    check_scenario("adversarial");
+}
+
+#[test]
 fn snapshot_list_matches_cli_scenarios() {
-    // Every scenario the CLI knows has a pinned pair of snapshots (guards
-    // against adding a scenario without extending the golden coverage).
-    for name in SCENARIO_NAMES {
+    // Every scenario the registry knows has a pinned pair of snapshots (guards
+    // against registering a scenario without extending the golden coverage).
+    for name in scenario_names() {
         for ext in ["md", "json"] {
             assert!(
                 std::env::var_os("UPDATE_SNAPSHOTS").is_some() || snapshot_path(name, ext).exists(),

@@ -57,23 +57,65 @@ pub fn term_score(params: Bm25Params, idf: f64, tf: u32, doc_len: u32, avg_doc_l
     }
 }
 
+/// Collection-level statistics used when scoring an index as *part of* a larger
+/// collection.
+///
+/// BM25 is not a purely per-document function: `idf` depends on the collection's
+/// document count and per-term document frequencies, and length normalisation depends
+/// on the collection's average document length. A sharded deployment that scored each
+/// shard against its own local statistics would rank differently from a single index
+/// over the same corpus. Passing the *global* statistics here makes per-document scores
+/// bit-identical to the unsharded ones, because [`term_score`] is invoked with exactly
+/// the same operands in exactly the same order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectionStats<'a> {
+    /// Total number of documents in the (logical) collection.
+    pub num_docs: usize,
+    /// Average analysed document length across the whole collection.
+    pub avg_doc_len: f64,
+    /// Document frequency of each query term across the whole collection, parallel to
+    /// the `query_terms` slice passed alongside these stats.
+    pub doc_freqs: &'a [usize],
+}
+
 /// Scores every document of the index against analysed query terms.
 ///
 /// Returns a dense vector of scores indexed by document ordinal; documents matching no
 /// query term score exactly `0.0`.
 pub fn score_all(index: &InvertedIndex, query_terms: &[String], params: Bm25Params) -> Vec<f64> {
+    let doc_freqs: Vec<usize> = query_terms.iter().map(|t| index.doc_freq(t)).collect();
+    let stats = CollectionStats {
+        num_docs: index.num_docs(),
+        avg_doc_len: index.avg_doc_len(),
+        doc_freqs: &doc_freqs,
+    };
+    score_all_with(index, query_terms, params, &stats)
+}
+
+/// Like [`score_all`], but with explicitly supplied collection statistics.
+///
+/// This is the shard-scoring primitive: an index over one partition of a corpus is
+/// scored with the statistics of the *whole* corpus, which keeps every per-document
+/// score bit-identical to what a single index over the full corpus would produce (see
+/// [`CollectionStats`]). `stats.doc_freqs` must be parallel to `query_terms`.
+pub fn score_all_with(
+    index: &InvertedIndex,
+    query_terms: &[String],
+    params: Bm25Params,
+    stats: &CollectionStats<'_>,
+) -> Vec<f64> {
+    debug_assert_eq!(query_terms.len(), stats.doc_freqs.len());
     let mut scores = vec![0.0; index.num_docs()];
-    for term in query_terms {
-        let df = index.doc_freq(term);
+    for (term, &df) in query_terms.iter().zip(stats.doc_freqs) {
         if df == 0 {
             continue;
         }
-        let idf = idf(index.num_docs(), df);
+        let idf = idf(stats.num_docs, df);
         if let Some(postings) = index.postings(term) {
             for posting in postings {
                 let doc_len = index.doc_len(posting.doc);
                 scores[posting.doc as usize] +=
-                    term_score(params, idf, posting.tf, doc_len, index.avg_doc_len());
+                    term_score(params, idf, posting.tf, doc_len, stats.avg_doc_len);
             }
         }
     }

@@ -17,6 +17,46 @@
 //! * [`searcher`] — the [`Searcher`](searcher::Searcher) facade producing the ranked
 //!   context `Dq` (a sequence of [`RankedSource`](searcher::RankedSource)) that RAGE
 //!   perturbs.
+//! * [`retriever`] — the [`Retriever`](retriever::Retriever) trait every retrieval
+//!   backend implements.
+//! * [`sharded`] — the partitioned [`ShardedSearcher`](sharded::ShardedSearcher)
+//!   backend for large corpora.
+//!
+//! ## The Retriever trait + sharding
+//!
+//! RAGE's pipeline is generic over [`Retriever`](retriever::Retriever): anything that
+//! can return a ranked, scored top-`k` context (plus score an individual document) can
+//! serve as the paper's retrieval model `M`. Two backends ship in this crate:
+//!
+//! * [`Searcher`](searcher::Searcher) — one inverted index over the whole corpus; the
+//!   right choice for the paper-scale demonstration corpora.
+//! * [`ShardedSearcher`](sharded::ShardedSearcher) — the corpus is partitioned into
+//!   `N` contiguous shards with one index each (built in parallel by default), and
+//!   queries merge per-shard top-k selections into one ranking.
+//!
+//! Sharding is **exact**, not approximate: every shard is scored with the *global*
+//! collection statistics ([`bm25::CollectionStats`]), and every ranking — single or
+//! merged — orders by descending score under `f64::total_cmp` with ties broken by
+//! ascending document id. Together these make `ShardedSearcher` return bit-identical
+//! scores and identical orderings to `Searcher` for every shard count, which is pinned
+//! by the equivalence suite in `crates/retrieval/tests/sharding.rs`:
+//!
+//! ```
+//! use rage_retrieval::document::{Corpus, Document};
+//! use rage_retrieval::index::IndexBuilder;
+//! use rage_retrieval::searcher::Searcher;
+//! use rage_retrieval::sharded::ShardedSearcher;
+//!
+//! let mut corpus = Corpus::new();
+//! corpus.push(Document::new("d1", "Tennis rankings", "Federer leads total match wins"));
+//! corpus.push(Document::new("d2", "Grand slams", "Djokovic holds the most grand slam titles"));
+//! corpus.push(Document::new("d3", "Clay", "Nadal dominates the French Open on clay"));
+//!
+//! let single = Searcher::new(IndexBuilder::default().build(&corpus));
+//! let sharded = ShardedSearcher::from_corpus(&corpus, 2);
+//! let query = "who has the most grand slam titles";
+//! assert_eq!(single.search(query, 2), sharded.search(query, 2));
+//! ```
 //!
 //! ## Example
 //!
@@ -43,12 +83,16 @@ pub mod document;
 pub mod error;
 pub mod index;
 pub mod json;
+pub mod retriever;
 pub mod searcher;
+pub mod sharded;
 pub mod tokenize;
 
 pub use bm25::Bm25Params;
 pub use document::{Corpus, Document};
 pub use error::RetrievalError;
 pub use index::{IndexBuilder, InvertedIndex};
+pub use retriever::Retriever;
 pub use searcher::{RankedSource, Searcher};
+pub use sharded::{ShardedIndex, ShardedIndexBuilder, ShardedSearcher};
 pub use tokenize::Tokenizer;

@@ -28,31 +28,71 @@ pub struct RankedSource {
     pub document: Document,
 }
 
+/// The rank ordering shared by every retriever implementation: descending score under
+/// `f64::total_cmp` (total and deterministic even for NaN), ties broken by *ascending
+/// document id*. Breaking ties on the id — rather than on an index-local ordinal —
+/// makes the final ranking a pure function of the (document, score) set, so no
+/// partitioning or merge order can ever reorder equal-score documents.
+pub(crate) fn rank_cmp(score_a: f64, id_a: &str, score_b: f64, id_b: &str) -> Ordering {
+    score_b.total_cmp(&score_a).then_with(|| id_a.cmp(id_b))
+}
+
 /// Min-heap entry used while selecting the top-k scores.
 #[derive(Debug, PartialEq)]
-struct HeapEntry {
+struct HeapEntry<'a> {
     score: f64,
+    doc_id: &'a str,
     ordinal: u32,
 }
 
-impl Eq for HeapEntry {}
+impl Eq for HeapEntry<'_> {}
 
-impl Ord for HeapEntry {
+impl Ord for HeapEntry<'_> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse on score to make BinaryHeap behave as a min-heap; ties broken by
-        // preferring to *evict* the larger ordinal so earlier documents win ties.
-        // total_cmp keeps the order total (and deterministic) even for NaN scores.
-        other
-            .score
-            .total_cmp(&self.score)
-            .then_with(|| self.ordinal.cmp(&other.ordinal))
+        // `Greater` means "ranks later", so BinaryHeap::pop evicts the worst-ranked
+        // entry: the lower score, or on ties the lexicographically larger id.
+        rank_cmp(self.score, self.doc_id, other.score, other.doc_id)
     }
 }
 
-impl PartialOrd for HeapEntry {
+impl PartialOrd for HeapEntry<'_> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
+}
+
+/// Bounded top-k selection over a dense score vector.
+///
+/// Keeps the `k` best entries with strictly positive scores under [`rank_cmp`] and
+/// returns them as `(ordinal, score)` pairs in final rank order. Shared by
+/// [`Searcher`] and [`crate::sharded::ShardedSearcher`] (per shard), so both sides of
+/// the sharding equivalence contract select and order by exactly the same rule.
+pub(crate) fn select_top_k<'a>(
+    scores: &[f64],
+    k: usize,
+    id_of: impl Fn(u32) -> &'a str,
+) -> Vec<(u32, f64)> {
+    let mut heap: BinaryHeap<HeapEntry<'a>> = BinaryHeap::with_capacity(k + 1);
+    for (ordinal, &score) in scores.iter().enumerate() {
+        if score <= 0.0 {
+            continue;
+        }
+        let ordinal = ordinal as u32;
+        heap.push(HeapEntry {
+            score,
+            doc_id: id_of(ordinal),
+            ordinal,
+        });
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut selected = heap.into_vec();
+    selected.sort_by(|a, b| rank_cmp(a.score, a.doc_id, b.score, b.doc_id));
+    selected
+        .into_iter()
+        .map(|entry| (entry.ordinal, entry.score))
+        .collect()
 }
 
 /// BM25 searcher over an [`InvertedIndex`].
@@ -90,8 +130,9 @@ impl Searcher {
     /// Retrieve the `k` most relevant sources for `query`, most relevant first.
     ///
     /// Documents scoring exactly zero (no query term matches) are never returned, so the
-    /// result may be shorter than `k`. Ties are broken by corpus insertion order, which
-    /// keeps results deterministic.
+    /// result may be shorter than `k`. Ties are broken by ascending document id (see
+    /// [`Retriever`](crate::retriever::Retriever)), which keeps results deterministic
+    /// and independent of how the corpus is partitioned or merged.
     pub fn search(&self, query: &str, k: usize) -> Vec<RankedSource> {
         self.try_search(query, k).unwrap_or_default()
     }
@@ -107,42 +148,25 @@ impl Searcher {
         }
 
         let scores = score_all(&self.index, &terms, self.params);
-
-        // Bounded min-heap selection of the top-k positive scores.
-        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
-        for (ordinal, &score) in scores.iter().enumerate() {
-            if score <= 0.0 {
-                continue;
-            }
-            heap.push(HeapEntry {
-                score,
-                ordinal: ordinal as u32,
-            });
-            if heap.len() > k {
-                heap.pop();
-            }
-        }
-
-        let mut selected: Vec<HeapEntry> = heap.into_vec();
-        selected.sort_by(|a, b| {
-            b.score
-                .total_cmp(&a.score)
-                .then_with(|| a.ordinal.cmp(&b.ordinal))
+        let selected = select_top_k(&scores, k, |ordinal| {
+            self.index
+                .doc_id(ordinal)
+                .expect("ordinal produced by scoring must exist")
         });
 
         Ok(selected
             .into_iter()
             .enumerate()
-            .map(|(rank, entry)| {
+            .map(|(rank, (ordinal, score))| {
                 let document = self
                     .index
-                    .document(entry.ordinal)
+                    .document(ordinal)
                     .expect("ordinal produced by scoring must exist")
                     .clone();
                 RankedSource {
                     doc_id: document.id.clone(),
                     rank,
-                    score: entry.score,
+                    score,
                     document,
                 }
             })
@@ -161,6 +185,24 @@ impl Searcher {
             .ok_or_else(|| RetrievalError::UnknownDocument(doc_id.to_string()))?;
         let scores = score_all(&self.index, &terms, self.params);
         Ok(scores[ordinal as usize])
+    }
+}
+
+impl crate::retriever::Retriever for Searcher {
+    fn try_search(&self, query: &str, k: usize) -> Result<Vec<RankedSource>, RetrievalError> {
+        Searcher::try_search(self, query, k)
+    }
+
+    fn search(&self, query: &str, k: usize) -> Vec<RankedSource> {
+        Searcher::search(self, query, k)
+    }
+
+    fn score_document(&self, query: &str, doc_id: &str) -> Result<f64, RetrievalError> {
+        Searcher::score_document(self, query, doc_id)
+    }
+
+    fn num_docs(&self) -> usize {
+        self.index.num_docs()
     }
 }
 
@@ -266,6 +308,23 @@ mod tests {
         let hits = s.search("identical text", 2);
         assert_eq!(hits[0].doc_id, "first");
         assert_eq!(hits[1].doc_id, "second");
+    }
+
+    #[test]
+    fn equal_scores_tie_break_on_doc_id_not_insertion_order() {
+        // Equal-score duplicates inserted in reverse id order must come back in
+        // ascending id order: the ranking is a function of (score, id) alone, never of
+        // the corpus layout. This is the invariant that makes sharded retrieval unable
+        // to reorder ties (see crates/retrieval/tests/sharding.rs).
+        let mut corpus = Corpus::new();
+        for id in ["dup-d", "dup-b", "dup-c", "dup-a"] {
+            corpus.push(Document::new(id, "", "identical text here"));
+        }
+        let s = Searcher::new(IndexBuilder::default().build(&corpus));
+        let hits = s.search("identical text", 4);
+        let ids: Vec<&str> = hits.iter().map(|h| h.doc_id.as_str()).collect();
+        assert_eq!(ids, vec!["dup-a", "dup-b", "dup-c", "dup-d"]);
+        assert!(hits.windows(2).all(|w| w[0].score == w[1].score));
     }
 
     #[test]

@@ -1,0 +1,510 @@
+//! Sharded BM25 retrieval: per-shard indexes, globally exact merged rankings.
+//!
+//! [`ShardedSearcher`] partitions a corpus into `N` contiguous shards, builds one
+//! [`InvertedIndex`] per shard (optionally in parallel), and answers queries by merging
+//! per-shard top-k selections. The merged ranking is **bit-identical** to what a single
+//! [`Searcher`](crate::searcher::Searcher) over the whole corpus returns, for every
+//! shard count — this is the contract the sharding equivalence suite
+//! (`crates/retrieval/tests/sharding.rs`) pins.
+//!
+//! Two mechanisms make exactness possible:
+//!
+//! 1. **Global statistics.** BM25's `idf` and length normalisation depend on
+//!    collection-level statistics (document count, per-term document frequencies,
+//!    average document length). Each shard is therefore scored with the statistics of
+//!    the *whole* corpus via [`score_all_with`], so every per-document score is
+//!    computed from exactly the same operands in exactly the same order as in the
+//!    single-index path.
+//! 2. **Layout-free tie-breaking.** All rankings order by descending score under
+//!    `f64::total_cmp` with ties broken by ascending document id (never by an
+//!    index-local ordinal), so the ranking is a pure function of the `(document,
+//!    score)` set. Each shard's local top-k necessarily contains every member of the
+//!    global top-k that lives in that shard, which makes the `N·k`-candidate merge
+//!    exact rather than approximate.
+
+use std::thread;
+
+use crate::bm25::{score_all_with, Bm25Params, CollectionStats};
+use crate::document::Corpus;
+use crate::error::RetrievalError;
+use crate::index::{IndexBuilder, InvertedIndex};
+use crate::retriever::Retriever;
+use crate::searcher::{rank_cmp, select_top_k, RankedSource};
+use crate::tokenize::Tokenizer;
+
+/// Builder for [`ShardedIndex`]: how many shards, which tokenizer, and whether the
+/// per-shard indexes are built on worker threads.
+#[derive(Debug, Clone)]
+pub struct ShardedIndexBuilder {
+    tokenizer: Tokenizer,
+    num_shards: usize,
+    parallel_build: bool,
+}
+
+impl ShardedIndexBuilder {
+    /// Create a builder that partitions corpora into `num_shards` contiguous shards.
+    ///
+    /// Shard sizes are balanced (they differ by at most one document); when
+    /// `num_shards` exceeds the corpus size the trailing shards are simply empty.
+    ///
+    /// # Panics
+    /// If `num_shards` is zero.
+    pub fn new(num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "at least one shard required");
+        Self {
+            tokenizer: Tokenizer::default(),
+            num_shards,
+            parallel_build: true,
+        }
+    }
+
+    /// Use a custom tokenizer for analysis (all shards share it).
+    pub fn with_tokenizer(mut self, tokenizer: Tokenizer) -> Self {
+        self.tokenizer = tokenizer;
+        self
+    }
+
+    /// Build the per-shard indexes on one worker thread per shard (the default) or
+    /// sequentially on the calling thread. The built index is identical either way;
+    /// this only trades wall-clock time for threads on multicore machines.
+    pub fn with_parallel_build(mut self, parallel: bool) -> Self {
+        self.parallel_build = parallel;
+        self
+    }
+
+    /// Analyse and index every document of the corpus, one index per shard.
+    pub fn build(&self, corpus: &Corpus) -> ShardedIndex {
+        let docs = corpus.documents();
+        let bounds = partition_bounds(docs.len(), self.num_shards);
+        let index_builder = IndexBuilder::default().with_tokenizer(self.tokenizer.clone());
+
+        let build_one = |(start, end): (usize, usize)| -> InvertedIndex {
+            let sub = Corpus::from_documents(docs[start..end].to_vec())
+                .expect("parent corpus ids are unique");
+            index_builder.build(&sub)
+        };
+
+        let indexes: Vec<InvertedIndex> = if self.parallel_build && self.num_shards > 1 {
+            // PR 2's scoped-worker pattern: one thread per shard, results collected in
+            // shard order so the outcome is independent of scheduling.
+            thread::scope(|scope| {
+                let build_one = &build_one;
+                let handles: Vec<_> = bounds
+                    .iter()
+                    .map(|&b| scope.spawn(move || build_one(b)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard index build panicked"))
+                    .collect()
+            })
+        } else {
+            bounds.iter().map(|&b| build_one(b)).collect()
+        };
+
+        // Exact global statistics: summing integer token counts is order-independent,
+        // so the average equals the single-index computation bit-for-bit.
+        let num_docs = docs.len();
+        let total_len: u64 = indexes
+            .iter()
+            .flat_map(|index| (0..index.num_docs()).map(|o| u64::from(index.doc_len(o as u32))))
+            .sum();
+        let avg_doc_len = if num_docs == 0 {
+            0.0
+        } else {
+            total_len as f64 / num_docs as f64
+        };
+
+        ShardedIndex {
+            shards: indexes,
+            num_docs,
+            avg_doc_len,
+            tokenizer: self.tokenizer.clone(),
+        }
+    }
+}
+
+/// Balanced contiguous partition of `n` documents into `shards` ranges.
+fn partition_bounds(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    let base = n / shards;
+    let remainder = n % shards;
+    let mut bounds = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < remainder);
+        bounds.push((start, start + len));
+        start += len;
+    }
+    bounds
+}
+
+/// A corpus partitioned into per-shard inverted indexes plus the global collection
+/// statistics needed to score each shard exactly as part of the whole.
+#[derive(Debug, Clone)]
+pub struct ShardedIndex {
+    shards: Vec<InvertedIndex>,
+    num_docs: usize,
+    avg_doc_len: f64,
+    tokenizer: Tokenizer,
+}
+
+impl ShardedIndex {
+    /// Number of shards (including empty ones).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of indexed documents across all shards.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Global average analysed document length (identical to the single-index value).
+    pub fn avg_doc_len(&self) -> f64 {
+        self.avg_doc_len
+    }
+
+    /// Documents per shard, in shard order.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.num_docs()).collect()
+    }
+
+    /// The tokenizer shared by every shard (queries must use the same one).
+    pub fn tokenizer(&self) -> &Tokenizer {
+        &self.tokenizer
+    }
+
+    /// Global document frequency of an analysed term (summed over shards).
+    pub fn doc_freq(&self, term: &str) -> usize {
+        self.shards.iter().map(|s| s.doc_freq(term)).sum()
+    }
+
+    /// Global document frequencies for a whole query, parallel to `terms`.
+    fn doc_freqs(&self, terms: &[String]) -> Vec<usize> {
+        terms.iter().map(|t| self.doc_freq(t)).collect()
+    }
+
+    /// The global collection statistics every shard must be scored with. Both query
+    /// paths ([`ShardedSearcher::try_search`] and
+    /// [`ShardedSearcher::score_document`]) assemble their stats here, so the
+    /// bit-identity contract has a single implementation to keep correct.
+    fn stats<'a>(&self, doc_freqs: &'a [usize]) -> CollectionStats<'a> {
+        CollectionStats {
+            num_docs: self.num_docs,
+            avg_doc_len: self.avg_doc_len,
+            doc_freqs,
+        }
+    }
+
+    /// Find the shard holding a document id, with the document's shard-local ordinal.
+    fn locate(&self, doc_id: &str) -> Option<(&InvertedIndex, u32)> {
+        self.shards
+            .iter()
+            .find_map(|shard| shard.ordinal_of(doc_id).map(|local| (shard, local)))
+    }
+}
+
+/// BM25 searcher over a [`ShardedIndex`], rank-identical to [`Searcher`] over the same
+/// corpus (see the [module docs](self)).
+///
+/// [`Searcher`]: crate::searcher::Searcher
+#[derive(Debug, Clone)]
+pub struct ShardedSearcher {
+    index: ShardedIndex,
+    params: Bm25Params,
+}
+
+impl ShardedSearcher {
+    /// Create a searcher with default (Pyserini) BM25 parameters.
+    pub fn new(index: ShardedIndex) -> Self {
+        Self {
+            index,
+            params: Bm25Params::default(),
+        }
+    }
+
+    /// Convenience: partition, index and wrap a corpus in one step with defaults.
+    pub fn from_corpus(corpus: &Corpus, num_shards: usize) -> Self {
+        Self::new(ShardedIndexBuilder::new(num_shards).build(corpus))
+    }
+
+    /// Override the BM25 parameters.
+    pub fn with_params(mut self, params: Bm25Params) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The underlying sharded index.
+    pub fn index(&self) -> &ShardedIndex {
+        &self.index
+    }
+
+    /// The BM25 parameters in use.
+    pub fn params(&self) -> Bm25Params {
+        self.params
+    }
+
+    /// Retrieve the `k` most relevant sources for `query`, most relevant first.
+    /// Identical results to [`Searcher::search`](crate::searcher::Searcher::search)
+    /// over the unpartitioned corpus.
+    pub fn search(&self, query: &str, k: usize) -> Vec<RankedSource> {
+        self.try_search(query, k).unwrap_or_default()
+    }
+
+    /// Like [`ShardedSearcher::search`] but reports empty/unanalysable queries as
+    /// errors.
+    pub fn try_search(&self, query: &str, k: usize) -> Result<Vec<RankedSource>, RetrievalError> {
+        let terms = self.index.tokenizer.tokenize(query);
+        if terms.is_empty() {
+            return Err(RetrievalError::EmptyQuery);
+        }
+        if k == 0 || self.index.num_docs == 0 {
+            return Ok(Vec::new());
+        }
+
+        let doc_freqs = self.index.doc_freqs(&terms);
+        let stats = self.index.stats(&doc_freqs);
+
+        // Per-shard bounded top-k, then an exact merge of at most `shards · k`
+        // candidates under the shared rank order.
+        let mut candidates: Vec<(f64, &str, &InvertedIndex, u32)> = Vec::new();
+        for shard in &self.index.shards {
+            let scores = score_all_with(shard, &terms, self.params, &stats);
+            let id_of = |ordinal: u32| {
+                shard
+                    .doc_id(ordinal)
+                    .expect("ordinal produced by scoring must exist")
+            };
+            for (local, score) in select_top_k(&scores, k, id_of) {
+                candidates.push((score, id_of(local), shard, local));
+            }
+        }
+        candidates.sort_by(|a, b| rank_cmp(a.0, a.1, b.0, b.1));
+        candidates.truncate(k);
+
+        Ok(candidates
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (score, _, index, local))| {
+                let document = index
+                    .document(local)
+                    .expect("ordinal produced by scoring must exist")
+                    .clone();
+                RankedSource {
+                    doc_id: document.id.clone(),
+                    rank,
+                    score,
+                    document,
+                }
+            })
+            .collect())
+    }
+
+    /// Score a single document (by id) against a query, even if it would not rank
+    /// top-k. Bit-identical to the single-index
+    /// [`Searcher::score_document`](crate::searcher::Searcher::score_document).
+    pub fn score_document(&self, query: &str, doc_id: &str) -> Result<f64, RetrievalError> {
+        let terms = self.index.tokenizer.tokenize(query);
+        if terms.is_empty() {
+            return Err(RetrievalError::EmptyQuery);
+        }
+        let (shard, local) = self
+            .index
+            .locate(doc_id)
+            .ok_or_else(|| RetrievalError::UnknownDocument(doc_id.to_string()))?;
+        let doc_freqs = self.index.doc_freqs(&terms);
+        let stats = self.index.stats(&doc_freqs);
+        let scores = score_all_with(shard, &terms, self.params, &stats);
+        Ok(scores[local as usize])
+    }
+}
+
+impl Retriever for ShardedSearcher {
+    fn try_search(&self, query: &str, k: usize) -> Result<Vec<RankedSource>, RetrievalError> {
+        ShardedSearcher::try_search(self, query, k)
+    }
+
+    fn search(&self, query: &str, k: usize) -> Vec<RankedSource> {
+        ShardedSearcher::search(self, query, k)
+    }
+
+    fn score_document(&self, query: &str, doc_id: &str) -> Result<f64, RetrievalError> {
+        ShardedSearcher::score_document(self, query, doc_id)
+    }
+
+    fn num_docs(&self) -> usize {
+        self.index.num_docs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+    use crate::searcher::Searcher;
+
+    fn corpus() -> Corpus {
+        let mut corpus = Corpus::new();
+        corpus.push(Document::new(
+            "wins",
+            "Match wins",
+            "Roger Federer leads with 369 total match wins in his career",
+        ));
+        corpus.push(Document::new(
+            "slams",
+            "Grand slams",
+            "Novak Djokovic holds 24 grand slam titles, the most of the big three",
+        ));
+        corpus.push(Document::new(
+            "weeks",
+            "Weeks at number one",
+            "Novak Djokovic spent the most weeks ranked number one",
+        ));
+        corpus.push(Document::new(
+            "clay",
+            "Clay courts",
+            "Rafael Nadal dominates on clay with fourteen French Open titles",
+        ));
+        corpus.push(Document::new(
+            "cooking",
+            "Pasta",
+            "Boil water, add salt, cook the pasta until al dente",
+        ));
+        corpus
+    }
+
+    fn assert_same_hits(single: &[RankedSource], sharded: &[RankedSource]) {
+        assert_eq!(single.len(), sharded.len());
+        for (a, b) in single.iter().zip(sharded) {
+            assert_eq!(a.doc_id, b.doc_id);
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(
+                a.score.to_bits(),
+                b.score.to_bits(),
+                "score drift on {}",
+                a.doc_id
+            );
+            assert_eq!(a.document, b.document);
+        }
+    }
+
+    #[test]
+    fn matches_single_index_for_every_shard_count() {
+        let corpus = corpus();
+        let single = Searcher::new(IndexBuilder::default().build(&corpus));
+        for shards in 1..=7 {
+            let sharded = ShardedSearcher::from_corpus(&corpus, shards);
+            for query in [
+                "grand slam titles",
+                "djokovic federer nadal titles wins",
+                "pasta",
+            ] {
+                for k in [1, 2, 5, 10] {
+                    assert_same_hits(&single.search(query, k), &sharded.search(query, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced_and_complete() {
+        assert_eq!(partition_bounds(5, 2), vec![(0, 3), (3, 5)]);
+        assert_eq!(partition_bounds(6, 3), vec![(0, 2), (2, 4), (4, 6)]);
+        assert_eq!(partition_bounds(2, 4), vec![(0, 1), (1, 2), (2, 2), (2, 2)]);
+        assert_eq!(partition_bounds(0, 3), vec![(0, 0), (0, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn empty_shards_are_harmless() {
+        let corpus = corpus();
+        let sharded = ShardedSearcher::from_corpus(&corpus, 9);
+        assert_eq!(sharded.index().num_shards(), 9);
+        assert!(sharded.index().shard_sizes().contains(&0));
+        let hits = sharded.search("grand slam titles", 3);
+        assert_eq!(hits[0].doc_id, "slams");
+    }
+
+    #[test]
+    fn global_stats_match_single_index() {
+        let corpus = corpus();
+        let single = IndexBuilder::default().build(&corpus);
+        let sharded = ShardedIndexBuilder::new(3).build(&corpus);
+        assert_eq!(sharded.num_docs(), single.num_docs());
+        assert_eq!(
+            sharded.avg_doc_len().to_bits(),
+            single.avg_doc_len().to_bits()
+        );
+        for term in ["djokovic", "titl", "most", "absent"] {
+            assert_eq!(sharded.doc_freq(term), single.doc_freq(term), "{term}");
+        }
+    }
+
+    #[test]
+    fn sequential_build_is_identical_to_parallel() {
+        let corpus = corpus();
+        let parallel = ShardedSearcher::new(ShardedIndexBuilder::new(3).build(&corpus));
+        let sequential = ShardedSearcher::new(
+            ShardedIndexBuilder::new(3)
+                .with_parallel_build(false)
+                .build(&corpus),
+        );
+        assert_same_hits(
+            &parallel.search("most titles", 5),
+            &sequential.search("most titles", 5),
+        );
+    }
+
+    #[test]
+    fn score_document_matches_single_index_bitwise() {
+        let corpus = corpus();
+        let single = Searcher::new(IndexBuilder::default().build(&corpus));
+        let sharded = ShardedSearcher::from_corpus(&corpus, 4);
+        for id in ["wins", "slams", "weeks", "clay", "cooking"] {
+            let a = single.score_document("most grand slam titles", id).unwrap();
+            let b = sharded
+                .score_document("most grand slam titles", id)
+                .unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "{id}");
+        }
+        assert!(matches!(
+            sharded.score_document("titles", "nope"),
+            Err(RetrievalError::UnknownDocument(_))
+        ));
+        assert!(matches!(
+            sharded.score_document("", "wins"),
+            Err(RetrievalError::EmptyQuery)
+        ));
+    }
+
+    #[test]
+    fn empty_query_and_empty_corpus() {
+        let sharded = ShardedSearcher::from_corpus(&corpus(), 2);
+        assert!(matches!(
+            sharded.try_search("the of and", 3),
+            Err(RetrievalError::EmptyQuery)
+        ));
+        assert!(sharded.search("anything", 0).is_empty());
+        let empty = ShardedSearcher::from_corpus(&Corpus::new(), 4);
+        assert!(empty.search("anything", 5).is_empty());
+        assert_eq!(empty.index().num_docs(), 0);
+    }
+
+    #[test]
+    fn custom_params_are_respected() {
+        let corpus = corpus();
+        let single = Searcher::new(IndexBuilder::default().build(&corpus))
+            .with_params(Bm25Params::robertson());
+        let sharded = ShardedSearcher::from_corpus(&corpus, 3).with_params(Bm25Params::robertson());
+        assert_same_hits(
+            &single.search("grand slam titles", 5),
+            &sharded.search("grand slam titles", 5),
+        );
+        assert_eq!(sharded.params(), Bm25Params::robertson());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        ShardedIndexBuilder::new(0);
+    }
+}
