@@ -1,0 +1,399 @@
+//! `loadtest`: drive the `rage-server` HTTP service and record latency
+//! percentiles.
+//!
+//! ```text
+//! loadtest [--addr HOST:PORT] [--clients N] [--requests N]
+//!          [--scenario NAME] [--out PATH]
+//! ```
+//!
+//! Without `--addr` the bin boots an in-process [`rage_server::Server`] on an
+//! ephemeral port (the CI path — no separate process to babysit); with
+//! `--addr` it targets an already-running server. `--clients` concurrent
+//! client threads each issue `--requests` requests in a fixed rotation of the
+//! three serving endpoints (`GET /scenarios`, `GET /report?format=json`,
+//! `POST /ask`), every request on a fresh connection exactly like the
+//! server's one-request-per-connection contract expects. Per-endpoint
+//! latencies are aggregated into p50/p95/p99 (nearest-rank) and written as
+//! JSON to `--out` (default `SERVER_pr.json`).
+//!
+//! Caveat that also lives in the server crate docs: on the 1-CPU benching
+//! container the worker pool only interleaves, so these percentiles
+//! understate a multicore deployment.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rage_json::JsonValue;
+use rage_report::Service;
+use rage_server::{Server, ServerConfig};
+
+fn usage() -> &'static str {
+    "usage: loadtest [--addr HOST:PORT] [--clients N] [--requests N] \
+     [--scenario NAME] [--out PATH]\n\
+     \n\
+     Drives the rage-server HTTP service (an in-process one unless --addr is\n\
+     given) and writes p50/p95/p99 latencies per endpoint to --out\n\
+     (default SERVER_pr.json).\n"
+}
+
+#[derive(Clone)]
+struct LoadConfig {
+    addr: Option<String>,
+    clients: usize,
+    requests_per_client: usize,
+    scenario: String,
+    out: String,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            clients: 4,
+            requests_per_client: 25,
+            scenario: "us_open".to_string(),
+            out: "SERVER_pr.json".to_string(),
+        }
+    }
+}
+
+/// One timed request: endpoint label + latency.
+struct Sample {
+    endpoint: &'static str,
+    latency: Duration,
+    status: u16,
+}
+
+/// Issue one request on a fresh connection and read the full response.
+fn timed_request(addr: SocketAddr, raw: &[u8], endpoint: &'static str) -> Result<Sample, String> {
+    let start = Instant::now();
+    let mut stream =
+        TcpStream::connect(addr).map_err(|err| format!("{endpoint}: connect: {err}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|err| format!("{endpoint}: timeout: {err}"))?;
+    stream
+        .write_all(raw)
+        .map_err(|err| format!("{endpoint}: write: {err}"))?;
+    let mut response = Vec::new();
+    stream
+        .read_to_end(&mut response)
+        .map_err(|err| format!("{endpoint}: read: {err}"))?;
+    let latency = start.elapsed();
+    let status: u16 = std::str::from_utf8(&response)
+        .ok()
+        .and_then(|text| text.split_whitespace().nth(1))
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("{endpoint}: unreadable response"))?;
+    Ok(Sample {
+        endpoint,
+        latency,
+        status,
+    })
+}
+
+/// Nearest-rank percentile over sorted `samples`.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// Percentile summary of one endpoint's samples, as a JSON object.
+fn summarise(latencies: &mut [Duration]) -> JsonValue {
+    latencies.sort();
+    let total: Duration = latencies.iter().sum();
+    let mean = if latencies.is_empty() {
+        Duration::ZERO
+    } else {
+        total / latencies.len() as u32
+    };
+    JsonValue::Object(vec![
+        ("requests".into(), JsonValue::Number(latencies.len() as f64)),
+        (
+            "p50_us".into(),
+            JsonValue::Number(micros(percentile(latencies, 50.0))),
+        ),
+        (
+            "p95_us".into(),
+            JsonValue::Number(micros(percentile(latencies, 95.0))),
+        ),
+        (
+            "p99_us".into(),
+            JsonValue::Number(micros(percentile(latencies, 99.0))),
+        ),
+        ("mean_us".into(), JsonValue::Number(micros(mean))),
+        (
+            "min_us".into(),
+            JsonValue::Number(micros(latencies.first().copied().unwrap_or(Duration::ZERO))),
+        ),
+        (
+            "max_us".into(),
+            JsonValue::Number(micros(latencies.last().copied().unwrap_or(Duration::ZERO))),
+        ),
+    ])
+}
+
+fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
+    let mut config = LoadConfig::default();
+    let mut i = 0;
+    let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
+        args.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => config.addr = Some(value(args, i, "--addr")?),
+            "--clients" => {
+                config.clients = value(args, i, "--clients")?
+                    .parse()
+                    .map_err(|_| "--clients needs a positive integer".to_string())?;
+                if config.clients == 0 {
+                    return Err("--clients needs a positive integer".to_string());
+                }
+            }
+            "--requests" => {
+                config.requests_per_client = value(args, i, "--requests")?
+                    .parse()
+                    .map_err(|_| "--requests needs a positive integer".to_string())?;
+                if config.requests_per_client == 0 {
+                    return Err("--requests needs a positive integer".to_string());
+                }
+            }
+            "--scenario" => config.scenario = value(args, i, "--scenario")?,
+            "--out" => config.out = value(args, i, "--out")?,
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+        i += 2;
+    }
+    Ok(config)
+}
+
+fn run(config: LoadConfig) -> Result<(), String> {
+    // Target: an external server, or an in-process one on an ephemeral port.
+    let (addr, in_process) = match &config.addr {
+        Some(addr) => (
+            addr.to_socket_addrs()
+                .map_err(|err| format!("cannot resolve {addr}: {err}"))?
+                .next()
+                .ok_or_else(|| format!("cannot resolve {addr}"))?,
+            None,
+        ),
+        None => {
+            let server = Server::start(
+                "127.0.0.1:0",
+                Arc::new(Service::new()),
+                ServerConfig {
+                    threads: config.clients.max(2),
+                    ..ServerConfig::default()
+                },
+            )
+            .map_err(|err| format!("cannot start in-process server: {err}"))?;
+            (server.addr(), Some(server))
+        }
+    };
+
+    let scenario = &config.scenario;
+    let ask_body = format!(
+        r#"{{"scenario": "{scenario}", "query": "who won the championship final", "k": 3}}"#
+    );
+    let requests: Vec<(&'static str, Vec<u8>)> = vec![
+        (
+            "scenarios",
+            b"GET /scenarios HTTP/1.1\r\nHost: loadtest\r\n\r\n".to_vec(),
+        ),
+        (
+            "report_json",
+            format!(
+                "GET /report?scenario={scenario}&format=json HTTP/1.1\r\nHost: loadtest\r\n\r\n"
+            )
+            .into_bytes(),
+        ),
+        (
+            "ask",
+            format!(
+                "POST /ask HTTP/1.1\r\nHost: loadtest\r\nContent-Length: {}\r\n\r\n{ask_body}",
+                ask_body.len()
+            )
+            .into_bytes(),
+        ),
+    ];
+
+    // Pre-flight: one of each, so cold-start cost (index + pipeline build on
+    // the first /report) never skews a concurrent percentile, and failures
+    // surface before the fan-out.
+    for (endpoint, raw) in &requests {
+        let sample = timed_request(addr, raw, endpoint)?;
+        if sample.status != 200 {
+            return Err(format!("{endpoint}: pre-flight answered {}", sample.status));
+        }
+    }
+
+    eprintln!(
+        "loadtest: {} clients x {} requests against {addr}{}",
+        config.clients,
+        config.requests_per_client,
+        if in_process.is_some() {
+            " (in-process server)"
+        } else {
+            ""
+        }
+    );
+
+    let started = Instant::now();
+    let requests = Arc::new(requests);
+    let handles: Vec<_> = (0..config.clients)
+        .map(|client| {
+            let requests = Arc::clone(&requests);
+            let count = config.requests_per_client;
+            std::thread::spawn(move || -> Result<Vec<Sample>, String> {
+                let mut samples = Vec::with_capacity(count);
+                for i in 0..count {
+                    // Stagger the rotation per client so endpoints overlap.
+                    let (endpoint, raw) = &requests[(client + i) % requests.len()];
+                    samples.push(timed_request(addr, raw, endpoint)?);
+                }
+                Ok(samples)
+            })
+        })
+        .collect();
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for handle in handles {
+        samples.extend(handle.join().map_err(|_| "client thread panicked")??);
+    }
+    let wall = started.elapsed();
+
+    let failures = samples.iter().filter(|s| s.status != 200).count();
+    if failures > 0 {
+        return Err(format!("{failures} of {} requests failed", samples.len()));
+    }
+
+    let mut per_endpoint: Vec<(&'static str, Vec<Duration>)> = Vec::new();
+    let mut all: Vec<Duration> = Vec::new();
+    for sample in &samples {
+        all.push(sample.latency);
+        match per_endpoint
+            .iter_mut()
+            .find(|(name, _)| *name == sample.endpoint)
+        {
+            Some((_, bucket)) => bucket.push(sample.latency),
+            None => per_endpoint.push((sample.endpoint, vec![sample.latency])),
+        }
+    }
+
+    let mut endpoints: Vec<(String, JsonValue)> = Vec::new();
+    for (name, mut latencies) in per_endpoint {
+        endpoints.push((name.to_string(), summarise(&mut latencies)));
+    }
+    let batch = in_process
+        .as_ref()
+        .map(|server| server.batch_stats())
+        .unwrap_or_default();
+
+    let doc = JsonValue::Object(vec![
+        ("schema".into(), JsonValue::String("rage-loadtest/1".into())),
+        (
+            "config".into(),
+            JsonValue::Object(vec![
+                ("clients".into(), JsonValue::Number(config.clients as f64)),
+                (
+                    "requests_per_client".into(),
+                    JsonValue::Number(config.requests_per_client as f64),
+                ),
+                ("scenario".into(), JsonValue::String(scenario.clone())),
+                (
+                    "in_process_server".into(),
+                    JsonValue::Bool(in_process.is_some()),
+                ),
+            ]),
+        ),
+        ("total".into(), summarise(&mut all)),
+        ("endpoints".into(), JsonValue::Object(endpoints)),
+        ("wall_seconds".into(), JsonValue::Number(wall.as_secs_f64())),
+        (
+            "throughput_rps".into(),
+            JsonValue::Number(samples.len() as f64 / wall.as_secs_f64()),
+        ),
+        (
+            "ask_batching".into(),
+            JsonValue::Object(vec![
+                ("requests".into(), JsonValue::Number(batch.requests as f64)),
+                ("batches".into(), JsonValue::Number(batch.batches as f64)),
+                (
+                    "max_batch".into(),
+                    JsonValue::Number(batch.max_batch as f64),
+                ),
+            ]),
+        ),
+    ]);
+
+    let mut rendered = doc.render();
+    rendered.push('\n');
+    std::fs::write(&config.out, &rendered)
+        .map_err(|err| format!("cannot write {}: {err}", config.out))?;
+
+    for (name, summary) in doc
+        .get("endpoints")
+        .and_then(|v| match v {
+            JsonValue::Object(members) => Some(members.as_slice()),
+            _ => None,
+        })
+        .unwrap_or(&[])
+    {
+        eprintln!(
+            "  {name:12} p50 {:8.0}us  p95 {:8.0}us  p99 {:8.0}us",
+            summary
+                .get("p50_us")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
+            summary
+                .get("p95_us")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
+            summary
+                .get("p99_us")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
+        );
+    }
+    eprintln!(
+        "loadtest: {} requests in {:.2}s -> {}",
+        samples.len(),
+        wall.as_secs_f64(),
+        config.out
+    );
+
+    if let Some(server) = in_process {
+        server.shutdown();
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if matches!(
+        args.first().map(String::as_str),
+        Some("--help" | "-h" | "help")
+    ) {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    match parse_args(&args).and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("loadtest: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -36,6 +36,17 @@ pub enum RageError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A caller-supplied argument was invalid before any work was attempted
+    /// (e.g. asking for `k = 0` sources).
+    ///
+    /// Distinct from [`RageError::EmptyContext`]: that variant means retrieval
+    /// ran and found nothing relevant, this one means the request itself was
+    /// malformed — a service maps the former to "no results" and the latter to
+    /// a client error (HTTP 400).
+    InvalidArgument {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RageError {
@@ -57,6 +68,7 @@ impl fmt::Display for RageError {
                 "evaluation budget exhausted after {evaluated} perturbations without a counterfactual"
             ),
             RageError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            RageError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
         }
     }
 }
@@ -102,6 +114,11 @@ mod tests {
             reason: "bad".into(),
         };
         assert!(err.to_string().contains("bad"));
+        let err = RageError::InvalidArgument {
+            reason: "k must be at least 1".into(),
+        };
+        assert!(err.to_string().contains("invalid argument"));
+        assert!(err.to_string().contains("k must be at least 1"));
     }
 
     #[test]

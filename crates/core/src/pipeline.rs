@@ -94,9 +94,12 @@ impl<R: Retriever> RagPipeline<R> {
 
     /// Retrieve the top-`k` sources for `query` and answer from them.
     ///
-    /// Fails with [`RageError::EmptyContext`] when nothing relevant is retrieved, since
-    /// there would be no context to explain.
+    /// Fails with [`RageError::InvalidArgument`] when `k` is zero (an explanation needs
+    /// at least one source, so asking for none is a caller error — not a retrieval
+    /// miss) and with [`RageError::EmptyContext`] when nothing relevant is retrieved,
+    /// since there would be no context to explain.
     pub fn ask(&self, query: &str, k: usize) -> Result<RagResponse, RageError> {
+        Self::validate_k(k)?;
         let hits = self.retriever.try_search(query, k)?;
         if hits.is_empty() {
             return Err(RageError::EmptyContext {
@@ -105,6 +108,18 @@ impl<R: Retriever> RagPipeline<R> {
         }
         let context = Context::from_ranked(query, &hits);
         self.answer_with_context(context)
+    }
+
+    /// Reject `k = 0` up front: retrieval would dutifully return zero hits and
+    /// surface as [`RageError::EmptyContext`], misdiagnosing a malformed request
+    /// as "nothing relevant was retrieved".
+    fn validate_k(k: usize) -> Result<(), RageError> {
+        if k == 0 {
+            return Err(RageError::InvalidArgument {
+                reason: "retrieval count k must be at least 1".to_string(),
+            });
+        }
+        Ok(())
     }
 
     /// Answer over a caller-supplied context (bypassing retrieval).
@@ -133,6 +148,7 @@ impl<R: Retriever> RagPipeline<R> {
         let contexts: Vec<Result<Context, RageError>> = queries
             .iter()
             .map(|query| {
+                Self::validate_k(k)?;
                 let hits = self.retriever.try_search(query, k)?;
                 if hits.is_empty() {
                     return Err(RageError::EmptyContext {
@@ -240,6 +256,34 @@ mod tests {
         let p = pipeline();
         let response = p.ask("Who holds the most grand slam titles?", 3).unwrap();
         assert!(response.context.sources.iter().all(|s| s.doc_id != "pasta"));
+    }
+
+    #[test]
+    fn zero_k_is_an_invalid_argument_not_an_empty_context() {
+        // Regression: `ask(query, 0)` used to fall through retrieval into
+        // EmptyContext, blaming the corpus for a malformed request.
+        let p = pipeline();
+        let err = p
+            .ask("Who holds the most grand slam titles?", 0)
+            .unwrap_err();
+        assert!(matches!(err, RageError::InvalidArgument { .. }), "{err}");
+        assert!(err.to_string().contains("at least 1"));
+
+        // ask_many reports the same per-query error and still answers nothing.
+        let results = p.ask_many(&["Who holds the most grand slam titles?", "x"], 0);
+        assert_eq!(results.len(), 2);
+        for result in results {
+            assert!(matches!(
+                result.unwrap_err(),
+                RageError::InvalidArgument { .. }
+            ));
+        }
+
+        // ask_and_explain goes through ask, so it is covered too.
+        assert!(matches!(
+            p.ask_and_explain("anything", 0).err(),
+            Some(RageError::InvalidArgument { .. })
+        ));
     }
 
     #[test]

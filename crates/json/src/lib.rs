@@ -21,6 +21,18 @@
 //! documented lossy mapping that keeps every rendered document parseable
 //! (by this crate's own parser and any other) instead of silently emitting
 //! invalid JSON.
+//!
+//! The parser enforces the same invariant from the other side: a literal
+//! whose magnitude overflows `f64` (for example `1e999`) is a [`JsonError`]
+//! ("number out of range"), never a non-finite [`JsonValue::Number`] —
+//! untrusted input can therefore never smuggle `inf` past the
+//! non-finite→`null` rendering contract. The two rules are deliberately
+//! asymmetric: rendering degrades gracefully (in-memory values may be
+//! non-finite through arithmetic), parsing rejects loudly (documents have no
+//! legitimate way to express non-finite values). Underflow to `0.0` and
+//! rounding to the nearest representable `f64` are accepted as usual.
+//! Number syntax follows RFC 8259 exactly: `1.`, `.5`, `01`, `-01`, `1e`
+//! and `1e+` are all rejected.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -306,11 +318,27 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
+        // Integer part per RFC 8259: `0` or a non-zero digit followed by
+        // digits — `01` and `-01` are not JSON.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    return Err(self.error("leading zero in number"));
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("expected digit in number")),
         }
         if self.peek() == Some(b'.') {
             self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.error("expected digit after decimal point"));
+            }
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
             }
@@ -320,14 +348,26 @@ impl<'a> Parser<'a> {
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.error("expected digit in exponent"));
+            }
             while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
                 self.pos += 1;
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<f64>()
-            .map(JsonValue::Number)
-            .map_err(|_| self.error("invalid number"))
+        let number: f64 = text.parse().map_err(|_| self.error("invalid number"))?;
+        // A syntactically valid literal like `1e999` overflows f64 to ±inf.
+        // Accepting it would hand callers a non-finite Number that the
+        // renderer must then degrade to `null`; rejecting keeps the invariant
+        // that a parsed Number is always finite (underflow to 0 is fine).
+        if !number.is_finite() {
+            return Err(JsonError {
+                offset: start,
+                message: "number out of range".to_string(),
+            });
+        }
+        Ok(JsonValue::Number(number))
     }
 
     fn parse_string(&mut self) -> Result<String, JsonError> {
@@ -526,6 +566,73 @@ mod tests {
             "{} trailing",
         ] {
             assert!(JsonValue::parse(bad).is_err(), "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_number_forms() {
+        // Regression: these non-JSON forms (RFC 8259 §6) used to parse
+        // because the grammar was never enforced — `"1.".parse::<f64>()`
+        // happens to succeed in Rust.
+        for bad in [
+            "1.", "-1.", "01", "-01", "007", "00", "-", ".5", "-.5", "1e", "1e+", "1E-", "+1",
+            "01.5", "1.e3",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "input {bad:?}");
+            // Inside a container too (different code path into parse_value).
+            assert!(JsonValue::parse(&format!("[{bad}]")).is_err(), "[{bad}]");
+        }
+        // The valid neighbours of those forms still parse.
+        for (ok, expected) in [
+            ("1.0", 1.0),
+            ("0", 0.0),
+            ("-0", -0.0),
+            ("0.5", 0.5),
+            ("10", 10.0),
+            ("1e3", 1000.0),
+            ("1E+3", 1000.0),
+            ("0e0", 0.0),
+        ] {
+            assert_eq!(JsonValue::parse(ok).unwrap(), JsonValue::Number(expected));
+        }
+    }
+
+    #[test]
+    fn rejects_overflowing_number_literals() {
+        // Regression: `1e999` used to materialise f64::INFINITY, violating
+        // the invariant that a parsed Number is always finite.
+        for bad in ["1e999", "-1e999", "1e309", "123456789e9999", "2e308"] {
+            let err = JsonValue::parse(bad).unwrap_err();
+            assert!(err.message.contains("out of range"), "{bad:?}: {err}");
+        }
+        // The largest finite f64 and underflow-to-zero are both fine.
+        assert_eq!(
+            JsonValue::parse("1.7976931348623157e308").unwrap(),
+            JsonValue::Number(f64::MAX)
+        );
+        assert_eq!(JsonValue::parse("1e-999").unwrap(), JsonValue::Number(0.0));
+        // Subnormals round to the nearest representable value, not to an error.
+        assert_eq!(
+            JsonValue::parse("4e-324").unwrap().as_f64(),
+            Some(5e-324f64)
+        );
+    }
+
+    #[test]
+    fn render_parse_asymmetry_for_non_finite_numbers() {
+        // The renderer degrades non-finite values to `null`; the parser
+        // rejects literals that would overflow. Together: no JSON text can
+        // ever round-trip into a non-finite Number.
+        let rendered = JsonValue::Number(f64::INFINITY).render();
+        assert_eq!(rendered, "null");
+        assert_eq!(JsonValue::parse(&rendered).unwrap(), JsonValue::Null);
+        // ... while the textual spelling of infinity's magnitude is an error,
+        // not a Number(inf).
+        assert!(JsonValue::parse("1e999").is_err());
+        // No accepted numeric input produces a non-finite value.
+        for input in ["1.7976931348623157e308", "-1.7976931348623157e308"] {
+            let parsed = JsonValue::parse(input).unwrap();
+            assert!(parsed.as_f64().unwrap().is_finite());
         }
     }
 

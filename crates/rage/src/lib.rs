@@ -3,8 +3,9 @@
 //! Umbrella crate for the RAGE explanation engine — one dependency that
 //! re-exports the whole workspace: retrieval ([`retrieval`]), the simulated
 //! LLM ([`llm`]), the explanation engine ([`explain`]), the combinatorics
-//! substrate ([`assignment`]), the demonstration scenarios ([`datasets`]) and
-//! report rendering ([`report`]).
+//! substrate ([`assignment`]), the demonstration scenarios ([`datasets`]),
+//! report rendering ([`report`]) and the HTTP explanation service
+//! ([`server`]).
 //!
 //! ## Quick start
 //!
@@ -49,6 +50,8 @@ pub use rage_llm as llm;
 pub use rage_report as report;
 /// The BM25 retrieval substrate.
 pub use rage_retrieval as retrieval;
+/// The HTTP explanation service (`rage-server`).
+pub use rage_server as server;
 
 /// The commonly-used types, importable in one line.
 pub mod prelude {

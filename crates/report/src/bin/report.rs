@@ -24,10 +24,9 @@
 
 use std::process::ExitCode;
 
-use rage_core::explanation::ReportConfig;
 use rage_json::JsonValue;
 use rage_report::scenarios::{self, scenario_names};
-use rage_report::{diff, from_json, render_html, render_markdown, to_json};
+use rage_report::{diff, from_json, render_html, render_markdown, to_json, ReportFormat, Service};
 
 fn usage() -> String {
     format!(
@@ -113,24 +112,13 @@ fn render_scenario(args: &[String]) -> Result<(), String> {
     let scenario_name =
         scenario_name.ok_or_else(|| format!("--scenario is required\n{}", usage()))?;
 
-    let scenario = scenarios::scenario_by_name(&scenario_name).ok_or_else(|| {
-        format!(
-            "unknown scenario {scenario_name:?} (one of: {})",
-            scenario_names().join(", ")
-        )
-    })?;
-    let report = match shards {
-        Some(n) => scenarios::report_for_sharded(&scenario, &ReportConfig::default(), n),
-        None => scenarios::report_for(&scenario, &ReportConfig::default()),
-    }
-    .map_err(|err| format!("explanation failed for {scenario_name}: {err}"))?;
-
-    let rendering = match format.as_str() {
-        "md" | "markdown" => render_markdown(&report),
-        "json" => to_json(&report).render(),
-        "html" => render_html(&report),
-        other => return Err(format!("unknown format {other:?} (md|json|html)")),
-    };
+    // The CLI renders through the same Service layer the HTTP server serves
+    // from, so `report --format json` and `GET /report?format=json` are
+    // byte-identical by construction.
+    let format = ReportFormat::parse(&format).map_err(|err| err.to_string())?;
+    let rendering = Service::new()
+        .render_report(&scenario_name, format, shards)
+        .map_err(|err| err.to_string())?;
     write_output(&rendering, out.as_deref())
 }
 
@@ -191,9 +179,10 @@ fn run_smoke(args: &[String]) -> Result<(), String> {
         std::fs::create_dir_all(dir).map_err(|err| format!("cannot create {dir}: {err}"))?;
     }
 
+    let service = Service::new();
     for name in scenario_names() {
-        let scenario = scenarios::scenario_by_name(name).expect("built-in name");
-        let report = scenarios::report_for(&scenario, &ReportConfig::default())
+        let report = service
+            .report(name, None)
             .map_err(|err| format!("{name}: explanation failed: {err}"))?;
 
         let md = render_markdown(&report);
@@ -213,7 +202,7 @@ fn run_smoke(args: &[String]) -> Result<(), String> {
         }
         let decoded =
             from_json(&value).map_err(|err| format!("{name}: from_json failed: {err}"))?;
-        if decoded != report {
+        if decoded != *report {
             return Err(format!("{name}: from_json(to_json(report)) != report"));
         }
         if let Some(dir) = &out_dir {

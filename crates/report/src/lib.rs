@@ -96,10 +96,12 @@ mod diff;
 mod html;
 mod json;
 pub mod scenarios;
+pub mod service;
 
 pub use diff::{diff, ReportDiff};
 pub use html::render_html;
 pub use json::{from_json, to_json, ReportJsonError, SCHEMA_VERSION};
+pub use service::{ReportCacheStats, ReportFormat, Service, ServiceError};
 
 /// Escape a value for use inside a markdown table cell.
 ///

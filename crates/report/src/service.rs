@@ -1,0 +1,583 @@
+//! The shared [`Service`] layer: one code path for the `report` CLI and the
+//! HTTP server.
+//!
+//! Before this module, every consumer of the explanation engine wired its own
+//! pipeline: the CLI built a fresh index + model per invocation, and a server
+//! would have had to duplicate that wiring (and would have paid the full
+//! index-build and report-generation cost on every request). [`Service`]
+//! centralises it:
+//!
+//! * **Scenario runtimes** — per `(scenario, shards)` pair the service builds
+//!   the pipeline once (BM25 index or [`ShardedSearcher`], prior-seeded
+//!   [`SimLlm`] with an attached [`PrefixCache`]) and keeps it behind an
+//!   `Arc`, so concurrent requests share the index, the model and the
+//!   prefix cache. The prefix cache is bit-identical by construction
+//!   (PR 2/PR 4 differential suites), so *sharing state never changes
+//!   results* — `tests` below pin service output against the uncached
+//!   [`scenarios::report_for`] oracle.
+//! * **Report cache** — full [`RageReport`]s are memoised behind `Arc` under
+//!   a [`ReportKey`] of `(scenario, report-config fingerprint, shards,
+//!   schema_version)`. Reports are deterministic, so a cached report is
+//!   exactly what regeneration would produce; the schema version is part of
+//!   the key so a future v2 can never serve v1 cache entries.
+//! * **Error taxonomy** — [`ServiceError`] splits caller mistakes (unknown
+//!   scenario/format, invalid `k` or shard count, unanswerable query) from
+//!   engine failures, so transports can map them to 4xx vs 5xx without
+//!   string-matching (see [`ServiceError::kind`]).
+//!
+//! The service is `Sync`; the HTTP server shares one `Arc<Service>` across
+//! its worker pool, and the CLI uses a short-lived instance for a single
+//! render — the exact same path, which is what makes the server's
+//! `/report?format=json` byte-identical to `report --format json`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rage_core::explanation::ReportConfig;
+use rage_core::{RagPipeline, RagResponse, RageError, RageReport};
+use rage_datasets::{Scenario, ScenarioRegistry};
+use rage_llm::cache::PrefixCache;
+use rage_llm::model::{SimLlm, SimLlmConfig};
+use rage_retrieval::{IndexBuilder, RetrievalError, Retriever, Searcher, ShardedSearcher};
+
+use crate::scenarios;
+use crate::{render_html, render_markdown, to_json, SCHEMA_VERSION};
+
+/// Output format of a rendered report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReportFormat {
+    /// Human-readable markdown ([`render_markdown`]).
+    Markdown,
+    /// The versioned structured JSON document ([`to_json`]).
+    Json,
+    /// The self-contained HTML page ([`render_html`]).
+    Html,
+}
+
+impl ReportFormat {
+    /// Parse a CLI/query-string format name (`md`/`markdown`, `json`, `html`).
+    pub fn parse(name: &str) -> Result<Self, ServiceError> {
+        match name {
+            "md" | "markdown" => Ok(ReportFormat::Markdown),
+            "json" => Ok(ReportFormat::Json),
+            "html" => Ok(ReportFormat::Html),
+            other => Err(ServiceError::UnknownFormat {
+                format: other.to_string(),
+            }),
+        }
+    }
+
+    /// The MIME type a transport should declare for this format.
+    pub fn content_type(&self) -> &'static str {
+        match self {
+            ReportFormat::Markdown => "text/markdown; charset=utf-8",
+            ReportFormat::Json => "application/json",
+            ReportFormat::Html => "text/html; charset=utf-8",
+        }
+    }
+}
+
+/// Coarse classification of a [`ServiceError`], for transports mapping errors
+/// onto status codes without matching on variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The named resource (scenario) does not exist — HTTP 404.
+    NotFound,
+    /// The request itself was malformed (bad format, `k = 0`, empty query,
+    /// shards = 0) — HTTP 400.
+    BadRequest,
+    /// The query was valid but retrieved no relevant sources — HTTP 404
+    /// ("no results"), not a server fault.
+    NoResults,
+    /// The engine failed for a reason the caller cannot fix — HTTP 500.
+    Internal,
+}
+
+/// Errors surfaced by the [`Service`] layer.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The scenario name is not in the registry.
+    UnknownScenario {
+        /// The name that failed to resolve.
+        name: String,
+        /// The names the registry does know (for error messages).
+        known: Vec<String>,
+    },
+    /// The requested render format is not one of `md|json|html`.
+    UnknownFormat {
+        /// The unrecognised format string.
+        format: String,
+    },
+    /// A request parameter was invalid (`k = 0`, `shards = 0`, empty query).
+    InvalidArgument {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Retrieval ran but found nothing relevant to the query.
+    NoContext {
+        /// The query that retrieved nothing.
+        query: String,
+    },
+    /// The explanation engine failed internally.
+    Engine(RageError),
+}
+
+impl ServiceError {
+    /// Classify this error for status-code mapping.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            ServiceError::UnknownScenario { .. } => ErrorKind::NotFound,
+            ServiceError::UnknownFormat { .. } | ServiceError::InvalidArgument { .. } => {
+                ErrorKind::BadRequest
+            }
+            ServiceError::NoContext { .. } => ErrorKind::NoResults,
+            ServiceError::Engine(_) => ErrorKind::Internal,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownScenario { name, known } => {
+                write!(
+                    f,
+                    "unknown scenario {name:?} (one of: {})",
+                    known.join(", ")
+                )
+            }
+            ServiceError::UnknownFormat { format } => {
+                write!(f, "unknown format {format:?} (md|json|html)")
+            }
+            ServiceError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
+            ServiceError::NoContext { query } => {
+                write!(f, "no sources retrieved for query: {query}")
+            }
+            ServiceError::Engine(err) => write!(f, "explanation failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Engine(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<RageError> for ServiceError {
+    fn from(err: RageError) -> Self {
+        match err {
+            // A malformed request is the caller's to fix, whichever layer
+            // detected it.
+            RageError::InvalidArgument { reason } => ServiceError::InvalidArgument { reason },
+            RageError::Retrieval(RetrievalError::EmptyQuery) => ServiceError::InvalidArgument {
+                reason: "query contains no indexable terms".to_string(),
+            },
+            RageError::EmptyContext { query } => ServiceError::NoContext { query },
+            other => ServiceError::Engine(other),
+        }
+    }
+}
+
+/// The pipeline and model state shared by every request against one
+/// `(scenario, shards)` pair.
+struct ScenarioRuntime {
+    scenario: Scenario,
+    pipeline: RagPipeline<Box<dyn Retriever>>,
+    prefix_cache: Arc<PrefixCache>,
+}
+
+/// Key of the memoised-report map.
+///
+/// `params` is a stable fingerprint of the [`ReportConfig`] (all fields are
+/// plain data, so the derived `Debug` rendering is deterministic), and
+/// `schema_version` pins the structured format: bumping the schema can never
+/// serve stale cache entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ReportKey {
+    scenario: String,
+    params: String,
+    shards: usize, // 0 = single index
+    schema_version: u64,
+}
+
+/// Hit/miss counters of the service's report cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReportCacheStats {
+    /// Requests answered from a memoised report.
+    pub hits: u64,
+    /// Requests that generated (and then memoised) a report.
+    pub misses: u64,
+}
+
+/// The shared explanation service: scenario runtimes, memoised reports and
+/// batched asks behind one `Sync` facade (see the [module docs](self)).
+pub struct Service {
+    config: ReportConfig,
+    runtimes: Mutex<HashMap<(String, usize), Arc<ScenarioRuntime>>>,
+    reports: Mutex<HashMap<ReportKey, Arc<RageReport>>>,
+    report_hits: AtomicU64,
+    report_misses: AtomicU64,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Service {
+    /// A service over the built-in registry with the default [`ReportConfig`]
+    /// (the configuration the CLI, the golden snapshots and the server share).
+    pub fn new() -> Self {
+        Self::with_config(ReportConfig::default())
+    }
+
+    /// A service rendering reports under a custom [`ReportConfig`].
+    pub fn with_config(config: ReportConfig) -> Self {
+        Self {
+            config,
+            runtimes: Mutex::new(HashMap::new()),
+            reports: Mutex::new(HashMap::new()),
+            report_hits: AtomicU64::new(0),
+            report_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The scenario registry this service serves.
+    pub fn registry(&self) -> &'static ScenarioRegistry {
+        scenarios::registry()
+    }
+
+    /// The report configuration in use.
+    pub fn config(&self) -> &ReportConfig {
+        &self.config
+    }
+
+    /// `(name, summary)` pairs for every registered scenario, in presentation
+    /// order (the `/scenarios` endpoint and `--list-scenarios` both render
+    /// this).
+    pub fn scenario_list(&self) -> Vec<(&'static str, &'static str)> {
+        self.registry()
+            .iter()
+            .map(|entry| (entry.name(), entry.summary()))
+            .collect()
+    }
+
+    /// Resolve a scenario name to its canonical registry spelling.
+    fn canonical_name(&self, name: &str) -> Result<&'static str, ServiceError> {
+        self.registry()
+            .get(name)
+            .map(|entry| -> &'static str { entry.name() })
+            .ok_or_else(|| ServiceError::UnknownScenario {
+                name: name.to_string(),
+                known: self
+                    .registry()
+                    .names()
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect(),
+            })
+    }
+
+    /// The shared runtime for `(scenario, shards)`, built on first use.
+    fn runtime(
+        &self,
+        name: &str,
+        shards: Option<usize>,
+    ) -> Result<Arc<ScenarioRuntime>, ServiceError> {
+        let canonical = self.canonical_name(name)?;
+        let shard_count = validate_shards(shards)?;
+        let key = (canonical.to_string(), shard_count);
+        if let Some(runtime) = self.runtimes.lock().expect("runtime map lock").get(&key) {
+            return Ok(Arc::clone(runtime));
+        }
+        // Build outside the lock: index construction is the expensive part and
+        // must not serialise unrelated scenarios. Two racing builders would
+        // construct identical runtimes; first insert wins, so state stays
+        // shared.
+        let scenario = self
+            .registry()
+            .build(canonical)
+            .expect("canonical name resolves");
+        let prefix_cache = Arc::new(PrefixCache::default());
+        let llm = SimLlm::new(SimLlmConfig::default().with_prior(scenario.prior.clone()))
+            .with_prefix_cache(Arc::clone(&prefix_cache));
+        let retriever: Box<dyn Retriever> = if shard_count == 0 {
+            Box::new(Searcher::new(
+                IndexBuilder::default().build(&scenario.corpus),
+            ))
+        } else {
+            Box::new(ShardedSearcher::from_corpus(&scenario.corpus, shard_count))
+        };
+        let runtime = Arc::new(ScenarioRuntime {
+            scenario,
+            pipeline: RagPipeline::new(retriever, Arc::new(llm)),
+            prefix_cache,
+        });
+        let mut map = self.runtimes.lock().expect("runtime map lock");
+        Ok(Arc::clone(map.entry(key).or_insert(runtime)))
+    }
+
+    /// The full explanation report for a scenario, memoised.
+    ///
+    /// `shards: Some(n)` retrieves through an `n`-way sharded index; the
+    /// report is equal to the single-index one for every shard count, but the
+    /// two are cached under distinct keys (they exercise distinct runtimes).
+    pub fn report(
+        &self,
+        name: &str,
+        shards: Option<usize>,
+    ) -> Result<Arc<RageReport>, ServiceError> {
+        let canonical = self.canonical_name(name)?;
+        let key = ReportKey {
+            scenario: canonical.to_string(),
+            params: format!("{:?}", self.config),
+            shards: validate_shards(shards)?,
+            schema_version: SCHEMA_VERSION,
+        };
+        if let Some(report) = self.reports.lock().expect("report map lock").get(&key) {
+            self.report_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(report));
+        }
+        self.report_misses.fetch_add(1, Ordering::Relaxed);
+        let runtime = self.runtime(canonical, shards)?;
+        // Generate outside the lock (a report takes ~100ms-class time); two
+        // racing generators produce identical reports, first insert wins.
+        let (_, evaluator) = runtime
+            .pipeline
+            .ask_and_explain(&runtime.scenario.question, runtime.scenario.retrieval_k)?;
+        let report = Arc::new(RageReport::generate(&evaluator, &self.config)?);
+        let mut map = self.reports.lock().expect("report map lock");
+        Ok(Arc::clone(map.entry(key).or_insert(report)))
+    }
+
+    /// Render a scenario's report in the requested format.
+    ///
+    /// This is *the* rendering path: the CLI and the HTTP server both call it,
+    /// which is what makes their outputs byte-identical.
+    pub fn render_report(
+        &self,
+        name: &str,
+        format: ReportFormat,
+        shards: Option<usize>,
+    ) -> Result<String, ServiceError> {
+        let report = self.report(name, shards)?;
+        Ok(match format {
+            ReportFormat::Markdown => render_markdown(&report),
+            ReportFormat::Json => to_json(&report).render(),
+            ReportFormat::Html => render_html(&report),
+        })
+    }
+
+    /// One RAG round trip over a scenario's corpus with a caller-supplied
+    /// query.
+    ///
+    /// `k: None` uses the scenario's own `retrieval_k`; `k: Some(0)` is an
+    /// [`ServiceError::InvalidArgument`].
+    pub fn ask(
+        &self,
+        name: &str,
+        query: &str,
+        k: Option<usize>,
+    ) -> Result<RagResponse, ServiceError> {
+        let runtime = self.runtime(name, None)?;
+        let k = k.unwrap_or(runtime.scenario.retrieval_k);
+        Ok(runtime.pipeline.ask(query, k)?)
+    }
+
+    /// A whole batch of queries against one scenario, submitted to the model
+    /// through a single `ask_many` call (one batched inference).
+    ///
+    /// Per-query failures are reported element-wise; the outer error covers
+    /// request-level problems (unknown scenario). This is the sink the
+    /// server's cross-request admission coalesces concurrent `/ask` bodies
+    /// into.
+    pub fn ask_many(
+        &self,
+        name: &str,
+        queries: &[&str],
+        k: Option<usize>,
+    ) -> Result<Vec<Result<RagResponse, ServiceError>>, ServiceError> {
+        let runtime = self.runtime(name, None)?;
+        let k = k.unwrap_or(runtime.scenario.retrieval_k);
+        Ok(runtime
+            .pipeline
+            .ask_many(queries, k)
+            .into_iter()
+            .map(|result| result.map_err(ServiceError::from))
+            .collect())
+    }
+
+    /// Hit/miss counters of the memoised-report cache.
+    pub fn report_cache_stats(&self) -> ReportCacheStats {
+        ReportCacheStats {
+            hits: self.report_hits.load(Ordering::Relaxed),
+            misses: self.report_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The prefix-cache statistics of a scenario's shared model, if its
+    /// runtime has been built.
+    pub fn prefix_cache_stats(
+        &self,
+        name: &str,
+        shards: Option<usize>,
+    ) -> Option<rage_llm::cache::CacheStats> {
+        let canonical = self.canonical_name(name).ok()?;
+        let shard_count = validate_shards(shards).ok()?;
+        let map = self.runtimes.lock().expect("runtime map lock");
+        map.get(&(canonical.to_string(), shard_count))
+            .map(|runtime| runtime.prefix_cache.stats())
+    }
+}
+
+/// `shards = Some(0)` is meaningless; `None` means "single index" (key 0).
+fn validate_shards(shards: Option<usize>) -> Result<usize, ServiceError> {
+    match shards {
+        None => Ok(0),
+        Some(0) => Err(ServiceError::InvalidArgument {
+            reason: "shard count must be at least 1".to_string(),
+        }),
+        Some(n) => Ok(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_the_standalone_scenario_path() {
+        // The service shares pipelines and prefix caches across requests;
+        // none of that may change a single byte relative to the uncached
+        // one-shot path the golden snapshots pin.
+        let service = Service::new();
+        for name in ["us_open", "adversarial"] {
+            let scenario = scenarios::scenario_by_name(name).unwrap();
+            let oracle = scenarios::report_for(&scenario, &ReportConfig::default()).unwrap();
+            let via_service = service.report(name, None).unwrap();
+            assert_eq!(*via_service, oracle, "{name}");
+            assert_eq!(
+                service
+                    .render_report(name, ReportFormat::Json, None)
+                    .unwrap(),
+                to_json(&oracle).render(),
+                "{name} json"
+            );
+            assert_eq!(
+                service
+                    .render_report(name, ReportFormat::Markdown, None)
+                    .unwrap(),
+                render_markdown(&oracle),
+                "{name} md"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_render_is_equal_and_cached_separately() {
+        let service = Service::new();
+        let single = service
+            .render_report("us_open", ReportFormat::Json, None)
+            .unwrap();
+        let sharded = service
+            .render_report("us_open", ReportFormat::Json, Some(3))
+            .unwrap();
+        assert_eq!(single, sharded);
+        // Two distinct cache entries (different runtimes), both misses.
+        assert_eq!(service.report_cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn reports_are_memoised() {
+        let service = Service::new();
+        let first = service.report("us_open", None).unwrap();
+        let second = service.report("us_open", None).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "second call must be a cache hit"
+        );
+        let stats = service.report_cache_stats();
+        assert_eq!(stats, ReportCacheStats { hits: 1, misses: 1 });
+        // All three formats render off the same memoised report.
+        service
+            .render_report("us_open", ReportFormat::Html, None)
+            .unwrap();
+        service
+            .render_report("us-open", ReportFormat::Markdown, None)
+            .unwrap();
+        assert_eq!(service.report_cache_stats().hits, 3);
+    }
+
+    #[test]
+    fn ask_answers_custom_queries_against_scenario_corpora() {
+        let service = Service::new();
+        let scenario = scenarios::scenario_by_name("us_open").unwrap();
+        let response = service.ask("us_open", &scenario.question, None).unwrap();
+        assert!(!response.answer().is_empty());
+        // The service's answer equals a freshly wired pipeline's answer.
+        let oracle = {
+            let searcher = Searcher::new(IndexBuilder::default().build(&scenario.corpus));
+            let llm = SimLlm::new(SimLlmConfig::default().with_prior(scenario.prior.clone()));
+            RagPipeline::new(searcher, Arc::new(llm))
+                .ask(&scenario.question, scenario.retrieval_k)
+                .unwrap()
+        };
+        assert_eq!(response, oracle);
+    }
+
+    #[test]
+    fn ask_many_matches_element_wise_ask() {
+        let service = Service::new();
+        let scenario = scenarios::scenario_by_name("us_open").unwrap();
+        let queries = [scenario.question.as_str(), "who won the US Open final"];
+        let batched = service.ask_many("us_open", &queries, Some(3)).unwrap();
+        assert_eq!(batched.len(), 2);
+        for (query, result) in queries.iter().zip(batched) {
+            let direct = service.ask("us_open", query, Some(3)).unwrap();
+            assert_eq!(result.unwrap(), direct);
+        }
+    }
+
+    #[test]
+    fn error_taxonomy_classifies_client_errors() {
+        let service = Service::new();
+        let err = service.report("nope", None).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::NotFound);
+        assert!(err.to_string().contains("us_open"), "{err}");
+
+        let err = ReportFormat::parse("yaml").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::BadRequest);
+
+        let err = service.report("us_open", Some(0)).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::BadRequest);
+
+        let err = service.ask("us_open", "question", Some(0)).unwrap_err();
+        assert!(matches!(err, ServiceError::InvalidArgument { .. }), "{err}");
+        assert_eq!(err.kind(), ErrorKind::BadRequest);
+
+        // An empty query is a client error, not an engine failure.
+        let err = service.ask("us_open", "???", None).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::BadRequest);
+
+        // A well-formed query matching nothing is "no results".
+        let err = service
+            .ask("us_open", "quantum chromodynamics flux capacitor", None)
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::NoResults);
+    }
+
+    #[test]
+    fn scenario_list_mirrors_the_registry() {
+        let service = Service::new();
+        let list = service.scenario_list();
+        assert_eq!(list.len(), service.registry().len());
+        assert!(list.iter().any(|(name, _)| *name == "us_open"));
+        assert!(list.iter().all(|(_, summary)| !summary.is_empty()));
+    }
+}

@@ -1,0 +1,640 @@
+//! # rage-server
+//!
+//! The RAGE explanation service: the paper's interactive demo (§III) as an
+//! HTTP server, built — like every other substrate in this workspace — with
+//! no external dependencies: HTTP/1.1 over [`std::net`] (see [`http`]), a
+//! fixed worker pool of `std::thread`s fed over an mpsc channel (the PR 2
+//! evaluator pattern), and the shared [`rage_report::Service`] layer, which
+//! is the *same* code path the `report` CLI renders through — so
+//! `GET /report?scenario=S&format=json` is byte-identical to
+//! `report --scenario S --format json` (pinned by `tests/endpoints.rs`).
+//!
+//! ## Endpoints
+//!
+//! | Method & path       | Description                                          |
+//! |---------------------|------------------------------------------------------|
+//! | `GET /`             | HTML index: every scenario, linked to its HTML view  |
+//! | `GET /scenarios`    | JSON list of registry scenarios (name + summary)     |
+//! | `GET /report?scenario=S[&format=md\|json\|html][&shards=N]` | one rendered explanation report (default `json`); the `html` format is the self-contained interactive page |
+//! | `POST /ask`         | JSON body `{"scenario": S, "query": Q[, "k": N]}` — one RAG round trip over the scenario's corpus |
+//! | `POST /diff`        | JSON body `{"a": <report>, "b": <report>}` (two schema-v1 report documents) — their [`rage_report::ReportDiff`] |
+//! | `GET /stats`        | JSON counters: report cache, ask batching, requests  |
+//!
+//! Errors come back as `{"error":{"status":N,"message":...}}` with the status
+//! mirrored in the HTTP status line. Caller mistakes are always 4xx — unknown
+//! scenarios 404, malformed bodies/parameters 400 (including `k = 0`, which
+//! the engine reports as an invalid argument, *not* as an empty retrieval) —
+//! and malformed HTTP never panics a worker (see [`http`] for the limits).
+//!
+//! ## Cross-request batching
+//!
+//! Concurrent `POST /ask` requests are not answered one inference at a time:
+//! each worker parks its request in the [`AskBatcher`] admission queue and a
+//! single dispatcher thread drains the whole queue per round, groups the
+//! pending bodies by `(scenario, k)` and submits each group through one
+//! [`Service::ask_many`] call — one batched model pass per group, exactly the
+//! pattern the vLLM-style serving literature batches decode steps with.
+//! Responses are element-wise identical to unbatched `ask` calls (pinned by
+//! `tests/endpoints.rs`), so batching is a throughput lever, never a
+//! semantic one.
+//!
+//! ## Limits of the 1-CPU container
+//!
+//! Latency percentiles from the `loadtest` bin (`SERVER_pr.json`) are
+//! recorded on a single-CPU container: the worker pool and the batcher can
+//! only interleave, not parallelise, so p50/p95/p99 understate a real
+//! multicore deployment exactly like the bench-harness `speedup@4` ratios do
+//! (see ROADMAP "Multicore speedup is still unmeasured").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rage_core::RagResponse;
+use rage_json::JsonValue;
+use rage_report::service::ErrorKind;
+use rage_report::{diff, from_json, ReportFormat, Service, ServiceError};
+
+use http::{parse_request, HttpRequest, HttpResponse};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of connection-handling worker threads.
+    pub threads: usize,
+    /// Per-connection socket read timeout (bounds slow-loris requests).
+    pub read_timeout: Duration,
+    /// Admission window of the `/ask` batcher: after the first pending ask of
+    /// a round arrives, the dispatcher waits this long before draining the
+    /// queue, so bursts of concurrent asks land in the same
+    /// [`Service::ask_many`] batch. Zero disables the wait (drain
+    /// immediately; coalescing then only happens while a batch is already in
+    /// flight).
+    pub ask_batch_window: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            read_timeout: Duration::from_secs(10),
+            ask_batch_window: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Map a [`ServiceError`] onto the HTTP status its [`ErrorKind`] calls for.
+fn status_for(error: &ServiceError) -> u16 {
+    match error.kind() {
+        ErrorKind::NotFound | ErrorKind::NoResults => 404,
+        ErrorKind::BadRequest => 400,
+        ErrorKind::Internal => 500,
+    }
+}
+
+fn service_error_response(error: &ServiceError) -> HttpResponse {
+    HttpResponse::error(status_for(error), &error.to_string())
+}
+
+/// One pending `/ask`, parked until the dispatcher answers it.
+struct PendingAsk {
+    scenario: String,
+    query: String,
+    k: Option<usize>,
+    reply: mpsc::Sender<Result<RagResponse, (u16, String)>>,
+}
+
+/// Counters of the admission queue (exposed via `GET /stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// `/ask` requests admitted into the queue.
+    pub requests: u64,
+    /// Dispatcher rounds executed (each round = one `ask_many` per distinct
+    /// `(scenario, k)` group in the drained queue).
+    pub batches: u64,
+    /// Largest number of requests coalesced into a single round so far.
+    pub max_batch: u64,
+}
+
+/// Cross-request admission queue: concurrent `/ask` bodies coalesce into
+/// batched [`Service::ask_many`] calls (see the [crate docs](self)).
+pub struct AskBatcher {
+    service: Arc<Service>,
+    window: Duration,
+    queue: Mutex<Vec<PendingAsk>>,
+    signal: Condvar,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+impl AskBatcher {
+    fn new(service: Arc<Service>, window: Duration) -> Arc<Self> {
+        Arc::new(Self {
+            service,
+            window,
+            queue: Mutex::new(Vec::new()),
+            signal: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        })
+    }
+
+    /// Park one ask in the queue and block until the dispatcher answers it.
+    ///
+    /// Requests that arrive while a batch is in flight pile up and are drained
+    /// together in the next round — that pile-up *is* the coalescing.
+    pub fn submit(
+        &self,
+        scenario: &str,
+        query: &str,
+        k: Option<usize>,
+    ) -> Result<RagResponse, (u16, String)> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        {
+            let mut queue = self.queue.lock().expect("ask queue lock");
+            queue.push(PendingAsk {
+                scenario: scenario.to_string(),
+                query: query.to_string(),
+                k,
+                reply: reply_tx,
+            });
+            self.requests.fetch_add(1, Ordering::Relaxed);
+        }
+        self.signal.notify_all();
+        reply_rx
+            .recv()
+            .unwrap_or_else(|_| Err((500, "ask dispatcher unavailable".to_string())))
+    }
+
+    /// Queue counters so far.
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The dispatcher loop: wait for work, hold the admission window open,
+    /// drain the queue, group, answer — until shutdown.
+    fn run(&self) {
+        loop {
+            {
+                let mut queue = self.queue.lock().expect("ask queue lock");
+                while queue.is_empty() && !self.shutdown.load(Ordering::Acquire) {
+                    queue = self
+                        .signal
+                        .wait_timeout(queue, Duration::from_millis(50))
+                        .expect("ask queue lock")
+                        .0;
+                }
+                if queue.is_empty() {
+                    return; // shutdown with nothing left to answer
+                }
+            }
+            // Admission window: let concurrent asks pile into this round.
+            if !self.window.is_zero() {
+                std::thread::sleep(self.window);
+            }
+            let drained: Vec<PendingAsk> =
+                std::mem::take(&mut *self.queue.lock().expect("ask queue lock"));
+            if drained.is_empty() {
+                continue;
+            }
+
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.max_batch
+                .fetch_max(drained.len() as u64, Ordering::Relaxed);
+
+            // Group by (scenario, k); each group becomes one ask_many call.
+            let mut groups: HashMap<(String, Option<usize>), Vec<PendingAsk>> = HashMap::new();
+            for pending in drained {
+                groups
+                    .entry((pending.scenario.clone(), pending.k))
+                    .or_default()
+                    .push(pending);
+            }
+            for ((scenario, k), group) in groups {
+                let queries: Vec<&str> = group.iter().map(|p| p.query.as_str()).collect();
+                match self.service.ask_many(&scenario, &queries, k) {
+                    Ok(results) => {
+                        for (pending, result) in group.iter().zip(results) {
+                            let reply = result.map_err(|err| (status_for(&err), err.to_string()));
+                            let _ = pending.reply.send(reply);
+                        }
+                    }
+                    Err(err) => {
+                        let status = status_for(&err);
+                        let message = err.to_string();
+                        for pending in &group {
+                            let _ = pending.reply.send(Err((status, message.clone())));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn stop(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.signal.notify_all();
+    }
+}
+
+/// The running HTTP server: an accept thread, a worker pool and the ask
+/// dispatcher, all over one shared [`Service`].
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    batcher: Arc<AskBatcher>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    dispatcher_handle: Option<JoinHandle<()>>,
+    requests_served: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Bind `addr` and start serving `service` on `config.threads` workers.
+    ///
+    /// Bind to port 0 to let the OS choose (tests do); the effective address
+    /// is [`Server::addr`].
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        service: Arc<Service>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let requests_served = Arc::new(AtomicU64::new(0));
+        let batcher = AskBatcher::new(Arc::clone(&service), config.ask_batch_window);
+
+        let dispatcher_handle = {
+            let batcher = Arc::clone(&batcher);
+            std::thread::Builder::new()
+                .name("rage-ask-dispatcher".to_string())
+                .spawn(move || batcher.run())
+                .expect("failed to spawn ask dispatcher")
+        };
+
+        // The PR 2 worker-pool pattern: accepted connections flow over one
+        // mpsc channel into a fixed set of workers; dropping the sender is
+        // the workers' shutdown signal.
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let worker_handles: Vec<JoinHandle<()>> = (0..config.threads.max(1))
+            .map(|i| {
+                let conn_rx = Arc::clone(&conn_rx);
+                let service = Arc::clone(&service);
+                let batcher = Arc::clone(&batcher);
+                let requests_served = Arc::clone(&requests_served);
+                let read_timeout = config.read_timeout;
+                std::thread::Builder::new()
+                    .name(format!("rage-server-worker-{i}"))
+                    .spawn(move || loop {
+                        let stream = {
+                            let guard = conn_rx.lock().expect("connection channel lock");
+                            guard.recv()
+                        };
+                        let Ok(stream) = stream else { return };
+                        requests_served.fetch_add(1, Ordering::Relaxed);
+                        handle_connection(
+                            stream,
+                            &service,
+                            &batcher,
+                            &requests_served,
+                            read_timeout,
+                        );
+                    })
+                    .expect("failed to spawn server worker")
+            })
+            .collect();
+
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let listener = listener.try_clone()?;
+            std::thread::Builder::new()
+                .name("rage-server-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        match stream {
+                            Ok(stream) => {
+                                if conn_tx.send(stream).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                    // conn_tx drops here, releasing the workers.
+                })
+                .expect("failed to spawn accept thread")
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            batcher,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            dispatcher_handle: Some(dispatcher_handle),
+            requests_served,
+        })
+    }
+
+    /// The address the server is actually listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counters of the `/ask` admission queue.
+    pub fn batch_stats(&self) -> BatchStats {
+        self.batcher.stats()
+    }
+
+    /// Number of connections handed to the worker pool so far.
+    pub fn connections_accepted(&self) -> u64 {
+        self.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting, drain the workers and join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        if self.accept_handle.is_none() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+        self.batcher.stop();
+        if let Some(handle) = self.dispatcher_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Parse, route and answer one connection (one request per connection).
+fn handle_connection(
+    stream: TcpStream,
+    service: &Service,
+    batcher: &AskBatcher,
+    requests_served: &AtomicU64,
+    read_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let response = match parse_request(&mut reader) {
+        Ok(Some(request)) => route(&request, service, batcher, requests_served),
+        Ok(None) => return, // bare connect/disconnect, nothing to answer
+        Err(err) => err.into(),
+    };
+    let mut writer = BufWriter::new(stream);
+    let _ = response.write_to(&mut writer);
+}
+
+/// Dispatch one parsed request to its handler.
+fn route(
+    request: &HttpRequest,
+    service: &Service,
+    batcher: &AskBatcher,
+    requests_served: &AtomicU64,
+) -> HttpResponse {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/") => index_page(service),
+        ("GET", "/scenarios") => scenarios_json(service),
+        ("GET", "/report") => report_endpoint(request, service),
+        ("POST", "/ask") => ask_endpoint(request, batcher),
+        ("POST", "/diff") => diff_endpoint(request),
+        ("GET", "/stats") => stats_json(service, batcher, requests_served),
+        ("GET" | "POST", _) => HttpResponse::error(404, "no such endpoint"),
+        _ => HttpResponse::error(405, "method not allowed (GET and POST only)"),
+    }
+}
+
+/// `GET /` — a small HTML index linking every scenario to its served report.
+fn index_page(service: &Service) -> HttpResponse {
+    let mut html = String::from(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\
+         <title>RAGE explanation server</title></head><body>\n\
+         <h1>RAGE explanation server</h1>\n\
+         <p>Interactive RAG explanations over the registered demonstration \
+         scenarios. Each link renders the six-panel explanation page; \
+         <code>?format=json</code> and <code>?format=md</code> serve the \
+         structured and markdown renderings of the same report.</p>\n<ul>\n",
+    );
+    for (name, summary) in service.scenario_list() {
+        html.push_str(&format!(
+            "<li><a href=\"/report?scenario={name}&format=html\">{name}</a> — {}</li>\n",
+            html_escape_text(summary)
+        ));
+    }
+    html.push_str("</ul>\n<p><a href=\"/scenarios\">/scenarios</a> · <a href=\"/stats\">/stats</a></p>\n</body></html>\n");
+    HttpResponse::ok("text/html; charset=utf-8", html)
+}
+
+fn html_escape_text(value: &str) -> String {
+    value
+        .replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// `GET /scenarios` — the registry as JSON.
+fn scenarios_json(service: &Service) -> HttpResponse {
+    let scenarios = service
+        .scenario_list()
+        .into_iter()
+        .map(|(name, summary)| {
+            JsonValue::Object(vec![
+                ("name".into(), JsonValue::String(name.to_string())),
+                ("summary".into(), JsonValue::String(summary.to_string())),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::Object(vec![("scenarios".into(), JsonValue::Array(scenarios))]);
+    HttpResponse::ok("application/json", doc.render())
+}
+
+/// `GET /report?scenario=S[&format=F][&shards=N]`.
+fn report_endpoint(request: &HttpRequest, service: &Service) -> HttpResponse {
+    let Some(scenario) = request.query_param("scenario") else {
+        return HttpResponse::error(400, "missing required query parameter: scenario");
+    };
+    let format = match ReportFormat::parse(request.query_param("format").unwrap_or("json")) {
+        Ok(format) => format,
+        Err(err) => return service_error_response(&err),
+    };
+    let shards = match request.query_param("shards") {
+        None => None,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => return HttpResponse::error(400, "shards must be a non-negative integer"),
+        },
+    };
+    match service.render_report(scenario, format, shards) {
+        Ok(rendering) => HttpResponse::ok(format.content_type(), rendering),
+        Err(err) => service_error_response(&err),
+    }
+}
+
+/// `POST /ask` — body `{"scenario": S, "query": Q[, "k": N]}`.
+fn ask_endpoint(request: &HttpRequest, batcher: &AskBatcher) -> HttpResponse {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return HttpResponse::error(400, "request body is not valid UTF-8"),
+    };
+    let value = match JsonValue::parse(body) {
+        Ok(value) => value,
+        Err(err) => return HttpResponse::error(400, &format!("invalid JSON body: {err}")),
+    };
+    let Some(scenario) = value.get("scenario").and_then(JsonValue::as_str) else {
+        return HttpResponse::error(400, "body must have a string \"scenario\" member");
+    };
+    let Some(query) = value.get("query").and_then(JsonValue::as_str) else {
+        return HttpResponse::error(400, "body must have a string \"query\" member");
+    };
+    let k = match value.get("k") {
+        None => None,
+        Some(raw) => match raw.as_usize() {
+            Some(k) => Some(k),
+            None => return HttpResponse::error(400, "\"k\" must be a non-negative integer"),
+        },
+    };
+
+    match batcher.submit(scenario, query, k) {
+        Ok(response) => {
+            let sources = response
+                .context
+                .sources
+                .iter()
+                .map(|source| {
+                    JsonValue::Object(vec![
+                        ("doc_id".into(), JsonValue::String(source.doc_id.clone())),
+                        ("rank".into(), JsonValue::Number(source.rank as f64)),
+                        (
+                            "retrieval_score".into(),
+                            JsonValue::Number(source.retrieval_score),
+                        ),
+                    ])
+                })
+                .collect();
+            let doc = JsonValue::Object(vec![
+                ("scenario".into(), JsonValue::String(scenario.to_string())),
+                ("query".into(), JsonValue::String(query.to_string())),
+                (
+                    "answer".into(),
+                    JsonValue::String(response.answer().to_string()),
+                ),
+                ("k".into(), JsonValue::Number(response.k() as f64)),
+                ("sources".into(), JsonValue::Array(sources)),
+            ]);
+            HttpResponse::ok("application/json", doc.render())
+        }
+        Err((status, message)) => HttpResponse::error(status, &message),
+    }
+}
+
+/// `POST /diff` — body `{"a": <schema-v1 report>, "b": <schema-v1 report>}`.
+fn diff_endpoint(request: &HttpRequest) -> HttpResponse {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return HttpResponse::error(400, "request body is not valid UTF-8"),
+    };
+    let value = match JsonValue::parse(body) {
+        Ok(value) => value,
+        Err(err) => return HttpResponse::error(400, &format!("invalid JSON body: {err}")),
+    };
+    let mut reports = Vec::with_capacity(2);
+    for side in ["a", "b"] {
+        let Some(doc) = value.get(side) else {
+            return HttpResponse::error(400, &format!("body must have an {side:?} report member"));
+        };
+        match from_json(doc) {
+            Ok(report) => reports.push(report),
+            Err(err) => {
+                return HttpResponse::error(
+                    400,
+                    &format!("{side:?} is not a report document: {err}"),
+                )
+            }
+        }
+    }
+    let report_diff = diff(&reports[0], &reports[1]);
+    let doc = JsonValue::Object(vec![
+        ("identical".into(), JsonValue::Bool(report_diff.is_empty())),
+        ("diff".into(), report_diff.to_json()),
+    ]);
+    HttpResponse::ok("application/json", doc.render())
+}
+
+/// `GET /stats` — service + batcher counters.
+fn stats_json(
+    service: &Service,
+    batcher: &AskBatcher,
+    requests_served: &AtomicU64,
+) -> HttpResponse {
+    let report_cache = service.report_cache_stats();
+    let batch = batcher.stats();
+    let doc = JsonValue::Object(vec![
+        (
+            "connections".into(),
+            JsonValue::Number(requests_served.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "report_cache".into(),
+            JsonValue::Object(vec![
+                ("hits".into(), JsonValue::Number(report_cache.hits as f64)),
+                (
+                    "misses".into(),
+                    JsonValue::Number(report_cache.misses as f64),
+                ),
+            ]),
+        ),
+        (
+            "ask_batching".into(),
+            JsonValue::Object(vec![
+                ("requests".into(), JsonValue::Number(batch.requests as f64)),
+                ("batches".into(), JsonValue::Number(batch.batches as f64)),
+                (
+                    "max_batch".into(),
+                    JsonValue::Number(batch.max_batch as f64),
+                ),
+            ]),
+        ),
+    ]);
+    HttpResponse::ok("application/json", doc.render())
+}

@@ -1,0 +1,402 @@
+//! End-to-end endpoint tests over a real socket: every response is produced by
+//! a running [`Server`] and compared against the library oracles — the same
+//! `scenarios::report_for` path the golden snapshots pin, and direct
+//! [`Service`] calls for `/ask`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rage_core::explanation::ReportConfig;
+use rage_json::JsonValue;
+use rage_report::scenarios::{report_for, scenario_by_name, scenario_names};
+use rage_report::{to_json, Service};
+use rage_server::{Server, ServerConfig};
+
+/// A split HTTP response: status code, header block, body bytes.
+type Response = (u16, String, Vec<u8>);
+
+/// One raw HTTP/1.1 exchange: write `request` bytes, read until the server
+/// closes (it always sends `Connection: close`), split the response.
+fn exchange(server: &Server, request: &[u8]) -> Response {
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request).expect("write request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header/body split");
+    let head = String::from_utf8(raw[..split].to_vec()).expect("headers are UTF-8");
+    let body = raw[split + 4..].to_vec();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line has a code")
+        .parse()
+        .expect("status code is numeric");
+    (status, head, body)
+}
+
+fn get(server: &Server, target: &str) -> Response {
+    exchange(
+        server,
+        format!("GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes(),
+    )
+}
+
+fn post(server: &Server, target: &str, body: &str) -> Response {
+    exchange(
+        server,
+        format!(
+            "POST {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn start_server() -> Server {
+    Server::start(
+        "127.0.0.1:0",
+        Arc::new(Service::new()),
+        ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts")
+}
+
+/// The acceptance criterion of the PR: the served JSON report is byte-identical
+/// to the CLI/library rendering for EVERY registry scenario.
+#[test]
+fn served_report_json_is_byte_identical_to_the_cli_path_for_every_scenario() {
+    let server = start_server();
+    for name in scenario_names() {
+        let (status, _, body) = get(&server, &format!("/report?scenario={name}&format=json"));
+        assert_eq!(status, 200, "{name}");
+
+        let scenario = scenario_by_name(name).expect(name);
+        let oracle =
+            to_json(&report_for(&scenario, &ReportConfig::default()).expect(name)).render();
+        assert_eq!(
+            body,
+            oracle.as_bytes(),
+            "{name}: served JSON differs from the library rendering"
+        );
+    }
+}
+
+#[test]
+fn report_formats_and_shards_serve_the_library_renderings() {
+    let server = start_server();
+    let scenario = scenario_by_name("us_open").unwrap();
+    let report = report_for(&scenario, &ReportConfig::default()).unwrap();
+
+    let (status, head, body) = get(&server, "/report?scenario=us_open&format=md");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/markdown"), "{head}");
+    assert_eq!(body, rage_report::render_markdown(&report).as_bytes());
+
+    let (status, head, body) = get(&server, "/report?scenario=us_open&format=html");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/html"), "{head}");
+    assert_eq!(body, rage_report::render_html(&report).as_bytes());
+
+    // Sharded retrieval serves the same bytes (rankings are bit-identical).
+    let (_, _, single) = get(&server, "/report?scenario=us_open&format=json");
+    let (status, _, sharded) = get(&server, "/report?scenario=us_open&format=json&shards=3");
+    assert_eq!(status, 200);
+    assert_eq!(single, sharded);
+
+    // `us-open` normalises to `us_open` exactly like the CLI.
+    let (status, _, dashed) = get(&server, "/report?scenario=us-open&format=json");
+    assert_eq!(status, 200);
+    assert_eq!(single, dashed);
+}
+
+#[test]
+fn scenarios_endpoint_lists_the_whole_registry() {
+    let server = start_server();
+    let (status, head, body) = get(&server, "/scenarios");
+    assert_eq!(status, 200);
+    assert!(head.contains("application/json"), "{head}");
+    let doc = JsonValue::parse(std::str::from_utf8(&body).unwrap()).expect("valid JSON");
+    let listed: Vec<&str> = doc
+        .get("scenarios")
+        .and_then(JsonValue::as_array)
+        .expect("scenarios array")
+        .iter()
+        .map(|entry| entry.get("name").and_then(JsonValue::as_str).unwrap())
+        .collect();
+    assert_eq!(listed, scenario_names());
+}
+
+#[test]
+fn index_page_links_every_scenario() {
+    let server = start_server();
+    let (status, head, body) = get(&server, "/");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/html"), "{head}");
+    let html = std::str::from_utf8(&body).unwrap();
+    for name in scenario_names() {
+        assert!(
+            html.contains(&format!("/report?scenario={name}&format=html")),
+            "index page is missing {name}"
+        );
+    }
+}
+
+#[test]
+fn ask_matches_a_direct_service_call() {
+    let server = start_server();
+    let (status, _, body) = post(
+        &server,
+        "/ask",
+        r#"{"scenario": "us_open", "query": "Who won the US Open?", "k": 3}"#,
+    );
+    assert_eq!(status, 200);
+    let doc = JsonValue::parse(std::str::from_utf8(&body).unwrap()).expect("valid JSON");
+
+    let service = Service::new();
+    let oracle = service
+        .ask("us_open", "Who won the US Open?", Some(3))
+        .unwrap();
+    assert_eq!(
+        doc.get("answer").and_then(JsonValue::as_str),
+        Some(oracle.answer())
+    );
+    assert_eq!(doc.get("k").and_then(JsonValue::as_usize), Some(3));
+    let sources = doc
+        .get("sources")
+        .and_then(JsonValue::as_array)
+        .expect("sources array");
+    assert_eq!(sources.len(), oracle.context.sources.len());
+    for (served, expected) in sources.iter().zip(&oracle.context.sources) {
+        assert_eq!(
+            served.get("doc_id").and_then(JsonValue::as_str),
+            Some(expected.doc_id.as_str())
+        );
+    }
+
+    // Without "k" the scenario's default retrieval depth applies.
+    let (status, _, body) = post(
+        &server,
+        "/ask",
+        r#"{"scenario": "us_open", "query": "Who won the US Open?"}"#,
+    );
+    assert_eq!(status, 200);
+    let doc = JsonValue::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let default_k = scenario_by_name("us_open").unwrap().retrieval_k;
+    assert_eq!(doc.get("k").and_then(JsonValue::as_usize), Some(default_k));
+}
+
+/// Concurrent asks coalesce into one `ask_many` round without changing any
+/// answer: every response equals the unbatched oracle, and with a wide-open
+/// admission window the burst lands in a shared batch.
+#[test]
+fn concurrent_asks_coalesce_and_stay_element_wise_identical() {
+    let server = Arc::new(
+        Server::start(
+            "127.0.0.1:0",
+            Arc::new(Service::new()),
+            ServerConfig {
+                threads: 8,
+                ask_batch_window: Duration::from_millis(200),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+
+    const QUERIES: [&str; 6] = [
+        "Who won the US Open?",
+        "Who won the championship?",
+        "When was the final played?",
+        "Who lost the final?",
+        "Who won the US Open?",
+        "Which seed won?",
+    ];
+    let handles: Vec<_> = QUERIES
+        .iter()
+        .map(|query| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let body = format!(r#"{{"scenario": "us_open", "query": {}, "k": 3}}"#, {
+                    let mut quoted = String::new();
+                    rage_json::write_json_string(&mut quoted, query);
+                    quoted
+                });
+                post(&server, "/ask", &body)
+            })
+        })
+        .collect();
+    let responses: Vec<Response> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let service = Service::new();
+    for (query, (status, _, body)) in QUERIES.iter().zip(&responses) {
+        assert_eq!(*status, 200, "{query}");
+        let doc = JsonValue::parse(std::str::from_utf8(body).unwrap()).unwrap();
+        let oracle = service.ask("us_open", query, Some(3)).unwrap();
+        assert_eq!(
+            doc.get("answer").and_then(JsonValue::as_str),
+            Some(oracle.answer()),
+            "batched answer for {query:?} differs from the unbatched oracle"
+        );
+    }
+
+    let stats = server.batch_stats();
+    assert_eq!(stats.requests, QUERIES.len() as u64);
+    assert!(
+        stats.max_batch >= 2,
+        "a 200ms admission window should coalesce a concurrent burst, stats: {stats:?}"
+    );
+    assert!(stats.batches < stats.requests);
+}
+
+#[test]
+fn diff_endpoint_compares_two_report_documents() {
+    let server = start_server();
+    let scenario = scenario_by_name("us_open").unwrap();
+    let report = report_for(&scenario, &ReportConfig::default()).unwrap();
+    let doc = to_json(&report).render();
+
+    let (status, _, body) = post(&server, "/diff", &format!(r#"{{"a": {doc}, "b": {doc}}}"#));
+    assert_eq!(status, 200);
+    let parsed = JsonValue::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        parsed.get("identical").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+
+    let other = to_json(
+        &report_for(
+            &scenario_by_name("timeline").unwrap(),
+            &ReportConfig::default(),
+        )
+        .unwrap(),
+    )
+    .render();
+    let (status, _, body) = post(
+        &server,
+        "/diff",
+        &format!(r#"{{"a": {doc}, "b": {other}}}"#),
+    );
+    assert_eq!(status, 200);
+    let parsed = JsonValue::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        parsed.get("identical").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+
+    let (status, _, _) = post(
+        &server,
+        "/diff",
+        r#"{"a": {"bogus": 1}, "b": {"bogus": 2}}"#,
+    );
+    assert_eq!(status, 400);
+}
+
+/// Caller mistakes map onto 4xx — never 500, never a dropped connection.
+#[test]
+fn caller_mistakes_map_to_4xx() {
+    let server = start_server();
+    let cases: Vec<(&str, Response)> = vec![
+        ("unknown scenario", get(&server, "/report?scenario=nope")),
+        ("missing scenario", get(&server, "/report")),
+        (
+            "bad format",
+            get(&server, "/report?scenario=us_open&format=pdf"),
+        ),
+        (
+            "shards=0",
+            get(&server, "/report?scenario=us_open&shards=0"),
+        ),
+        (
+            "shards junk",
+            get(&server, "/report?scenario=us_open&shards=two"),
+        ),
+        ("unknown endpoint", get(&server, "/nope")),
+        (
+            "ask k=0 is invalid-argument, not empty-context",
+            post(
+                &server,
+                "/ask",
+                r#"{"scenario": "us_open", "query": "q", "k": 0}"#,
+            ),
+        ),
+        (
+            "ask unknown scenario",
+            post(&server, "/ask", r#"{"scenario": "nope", "query": "q"}"#),
+        ),
+        ("ask non-JSON body", post(&server, "/ask", "not json")),
+        (
+            "ask missing query",
+            post(&server, "/ask", r#"{"scenario": "us_open"}"#),
+        ),
+        (
+            "ask non-integer k",
+            post(
+                &server,
+                "/ask",
+                r#"{"scenario": "us_open", "query": "q", "k": 1.5}"#,
+            ),
+        ),
+        ("diff missing sides", post(&server, "/diff", r#"{"a": 1}"#)),
+    ];
+    for (label, (status, _, body)) in &cases {
+        assert!(
+            (400..500).contains(status),
+            "{label}: expected 4xx, got {status}"
+        );
+        // Every error body is machine-readable JSON with the status mirrored.
+        let doc = JsonValue::parse(std::str::from_utf8(body).unwrap())
+            .unwrap_or_else(|err| panic!("{label}: error body is not JSON: {err}"));
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("status"))
+                .and_then(JsonValue::as_usize),
+            Some(*status as usize),
+            "{label}"
+        );
+    }
+
+    let (status, _, _) = exchange(&server, b"DELETE /report HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 405);
+
+    // k=0 must carry the invalid-argument wording from the engine.
+    let (status, _, body) = post(
+        &server,
+        "/ask",
+        r#"{"scenario": "us_open", "query": "q", "k": 0}"#,
+    );
+    assert_eq!(status, 400);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("invalid argument"), "{text}");
+    assert!(
+        !text.contains("empty"),
+        "k=0 must not read as empty-context: {text}"
+    );
+}
+
+/// The report cache makes the second identical request a hit, visible in
+/// `/stats`, and repeat requests stay byte-identical.
+#[test]
+fn stats_reflect_the_report_cache() {
+    let server = start_server();
+    let (_, _, first) = get(&server, "/report?scenario=timeline&format=json");
+    let (_, _, second) = get(&server, "/report?scenario=timeline&format=json");
+    assert_eq!(first, second);
+
+    let (status, _, body) = get(&server, "/stats");
+    assert_eq!(status, 200);
+    let doc = JsonValue::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    let cache = doc.get("report_cache").expect("report_cache member");
+    assert_eq!(cache.get("misses").and_then(JsonValue::as_usize), Some(1));
+    assert!(cache.get("hits").and_then(JsonValue::as_usize).unwrap() >= 1);
+}
