@@ -101,7 +101,7 @@ pub mod service;
 pub use diff::{diff, ReportDiff};
 pub use html::render_html;
 pub use json::{from_json, to_json, ReportJsonError, SCHEMA_VERSION};
-pub use service::{ReportCacheStats, ReportFormat, Service, ServiceError};
+pub use service::{ReportCacheStats, ReportFormat, Service, ServiceError, MAX_SHARDS};
 
 /// Escape a value for use inside a markdown table cell.
 ///

@@ -25,6 +25,11 @@
 //!   engine failures, so transports can map them to 4xx vs 5xx without
 //!   string-matching (see [`ServiceError::kind`]).
 //!
+//! Every input that sizes a resource is validated *before* the resource is
+//! built: shard counts are capped at [`MAX_SHARDS`], which also bounds the
+//! runtime map — untrusted `shards=N` query parameters can neither spawn
+//! thread storms nor grow the cache without limit.
+//!
 //! The service is `Sync`; the HTTP server shares one `Arc<Service>` across
 //! its worker pool, and the CLI uses a short-lived instance for a single
 //! render — the exact same path, which is what makes the server's
@@ -32,7 +37,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use rage_core::explanation::ReportConfig;
 use rage_core::{RagPipeline, RagResponse, RageError, RageReport};
@@ -205,6 +210,17 @@ struct ReportKey {
     schema_version: u64,
 }
 
+/// Lock a cache map, recovering from poisoning.
+///
+/// The guarded maps only ever hold fully-constructed `Arc`ed values inserted
+/// via `entry().or_insert`, so a panic elsewhere in a holder's request (the
+/// server catches per-connection panics) cannot leave them mid-mutation;
+/// recovering keeps the service answering instead of cascading one panic into
+/// a permanent failure of every subsequent request.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Hit/miss counters of the service's report cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReportCacheStats {
@@ -293,7 +309,7 @@ impl Service {
         let canonical = self.canonical_name(name)?;
         let shard_count = validate_shards(shards)?;
         let key = (canonical.to_string(), shard_count);
-        if let Some(runtime) = self.runtimes.lock().expect("runtime map lock").get(&key) {
+        if let Some(runtime) = lock_unpoisoned(&self.runtimes).get(&key) {
             return Ok(Arc::clone(runtime));
         }
         // Build outside the lock: index construction is the expensive part and
@@ -319,7 +335,7 @@ impl Service {
             pipeline: RagPipeline::new(retriever, Arc::new(llm)),
             prefix_cache,
         });
-        let mut map = self.runtimes.lock().expect("runtime map lock");
+        let mut map = lock_unpoisoned(&self.runtimes);
         Ok(Arc::clone(map.entry(key).or_insert(runtime)))
     }
 
@@ -340,7 +356,7 @@ impl Service {
             shards: validate_shards(shards)?,
             schema_version: SCHEMA_VERSION,
         };
-        if let Some(report) = self.reports.lock().expect("report map lock").get(&key) {
+        if let Some(report) = lock_unpoisoned(&self.reports).get(&key) {
             self.report_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(report));
         }
@@ -352,7 +368,7 @@ impl Service {
             .pipeline
             .ask_and_explain(&runtime.scenario.question, runtime.scenario.retrieval_k)?;
         let report = Arc::new(RageReport::generate(&evaluator, &self.config)?);
-        let mut map = self.reports.lock().expect("report map lock");
+        let mut map = lock_unpoisoned(&self.reports);
         Ok(Arc::clone(map.entry(key).or_insert(report)))
     }
 
@@ -430,18 +446,35 @@ impl Service {
     ) -> Option<rage_llm::cache::CacheStats> {
         let canonical = self.canonical_name(name).ok()?;
         let shard_count = validate_shards(shards).ok()?;
-        let map = self.runtimes.lock().expect("runtime map lock");
+        let map = lock_unpoisoned(&self.runtimes);
         map.get(&(canonical.to_string(), shard_count))
             .map(|runtime| runtime.prefix_cache.stats())
     }
 }
 
-/// `shards = Some(0)` is meaningless; `None` means "single index" (key 0).
+/// Upper bound on the `shards` parameter.
+///
+/// Every shard costs a partition slot and (during the parallel build) an OS
+/// thread, and each distinct accepted count occupies a [`Service`] runtime
+/// cache entry forever — and the parameter is remote-reachable through
+/// `GET /report?shards=N`. Corpora here are at most a few thousand documents,
+/// so 64 is far beyond any useful partitioning; anything larger is abuse, not
+/// tuning, and is rejected as an [`ServiceError::InvalidArgument`] before any
+/// allocation happens. The cap also bounds the runtime map itself: at most
+/// `registry size × (MAX_SHARDS + 1)` entries can ever exist.
+pub const MAX_SHARDS: usize = 64;
+
+/// `shards = Some(0)` is meaningless; `None` means "single index" (key 0);
+/// counts beyond [`MAX_SHARDS`] are rejected before any resource is sized
+/// from them.
 fn validate_shards(shards: Option<usize>) -> Result<usize, ServiceError> {
     match shards {
         None => Ok(0),
         Some(0) => Err(ServiceError::InvalidArgument {
             reason: "shard count must be at least 1".to_string(),
+        }),
+        Some(n) if n > MAX_SHARDS => Err(ServiceError::InvalidArgument {
+            reason: format!("shard count must be at most {MAX_SHARDS}, got {n}"),
         }),
         Some(n) => Ok(n),
     }
@@ -556,6 +589,15 @@ mod tests {
 
         let err = service.report("us_open", Some(0)).unwrap_err();
         assert_eq!(err.kind(), ErrorKind::BadRequest);
+
+        // Shard counts beyond the cap are rejected before any partition or
+        // thread is sized from them (the parameter is remote-reachable).
+        for huge in [MAX_SHARDS + 1, 999_999_999_999, usize::MAX] {
+            let err = service.report("us_open", Some(huge)).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::BadRequest, "shards={huge}");
+            assert!(err.to_string().contains("at most"), "{err}");
+        }
+        assert!(service.report("us_open", Some(MAX_SHARDS)).is_ok());
 
         let err = service.ask("us_open", "question", Some(0)).unwrap_err();
         assert!(matches!(err, ServiceError::InvalidArgument { .. }), "{err}");

@@ -19,14 +19,19 @@
 //! * ≤ [`MAX_HEADERS`] headers totalling ≤ [`MAX_HEADER_BYTES`] bytes (431);
 //! * body ≤ [`MAX_BODY_BYTES`] bytes, `Content-Length`-delimited only
 //!   (413 / 411; chunked transfer encoding is answered with 501);
-//! * bodies shorter than their declared `Content-Length` (a truncated or
-//!   slow-lorised request) are a 400, detected at the read timeout at the
-//!   latest.
+//! * bodies shorter than their declared `Content-Length` (a truncated
+//!   request) are a 400;
+//! * the *whole* request is read under one wall-clock deadline
+//!   ([`parse_request_with_deadline`]): the per-read socket timeout only
+//!   bounds a fully silent peer, so a slow-loris client trickling one byte
+//!   per timeout window would otherwise hold a worker indefinitely — the
+//!   deadline is checked between reads and answers 408 when exceeded.
 //!
 //! `crates/server/tests/http_parser.rs` drives these properties with
 //! adversarial inputs, in the spirit of the JSON depth-bound test.
 
 use std::io::{BufRead, Write};
+use std::time::Instant;
 
 /// Upper bound on the request line (`GET /path?query HTTP/1.1`).
 pub const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -98,16 +103,29 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
-/// Read one `\r\n`- (or `\n`-) terminated line, erroring past `limit` bytes.
+/// Error when `deadline` has passed — the wall-clock backstop that bounds
+/// slow-loris requests (a trickling peer keeps every individual read under
+/// the socket timeout, so only an overall deadline catches it).
+fn check_deadline(deadline: Option<Instant>) -> Result<(), HttpError> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(HttpError::new(408, "request timed out")),
+        _ => Ok(()),
+    }
+}
+
+/// Read one `\r\n`- (or `\n`-) terminated line, erroring past `limit` bytes
+/// or past `deadline`.
 ///
 /// Returns `None` on clean EOF before any byte of the line.
 fn read_limited_line<R: BufRead>(
     reader: &mut R,
     limit: usize,
     over_limit: HttpError,
+    deadline: Option<Instant>,
 ) -> Result<Option<String>, HttpError> {
     let mut line = Vec::new();
     loop {
+        check_deadline(deadline)?;
         let mut byte = [0u8; 1];
         match reader.read(&mut byte) {
             Ok(0) => {
@@ -200,8 +218,23 @@ fn is_valid_method(method: &str) -> bool {
 /// failure modes produce an [`HttpError`] with the status the caller should
 /// write back.
 pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Option<HttpRequest>, HttpError> {
+    parse_request_with_deadline(reader, None)
+}
+
+/// [`parse_request`] under an overall wall-clock `deadline`.
+///
+/// The deadline is checked between reads, so the whole request — line,
+/// headers and body together — errors with 408 once it has taken too long,
+/// no matter how steadily the peer trickles bytes. (Each individual blocking
+/// read is still bounded by the socket's read timeout, so the worst case is
+/// `deadline + read_timeout`.)
+pub fn parse_request_with_deadline<R: BufRead>(
+    reader: &mut R,
+    deadline: Option<Instant>,
+) -> Result<Option<HttpRequest>, HttpError> {
     let too_long = HttpError::new(414, "request line too long");
-    let Some(request_line) = read_limited_line(reader, MAX_REQUEST_LINE, too_long)? else {
+    let Some(request_line) = read_limited_line(reader, MAX_REQUEST_LINE, too_long, deadline)?
+    else {
         return Ok(None);
     };
 
@@ -233,7 +266,7 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Option<HttpRequest>, 
     let mut header_bytes = 0usize;
     loop {
         let too_large = HttpError::new(431, "header line too large");
-        let line = read_limited_line(reader, MAX_HEADER_BYTES, too_large)?
+        let line = read_limited_line(reader, MAX_HEADER_BYTES, too_large, deadline)?
             .ok_or_else(|| HttpError::new(400, "truncated header block"))?;
         if line.is_empty() {
             break;
@@ -282,6 +315,7 @@ pub fn parse_request<R: BufRead>(reader: &mut R) -> Result<Option<HttpRequest>, 
     let mut body = vec![0u8; content_length];
     let mut read = 0;
     while read < content_length {
+        check_deadline(deadline)?;
         match reader.read(&mut body[read..]) {
             Ok(0) => {
                 return Err(HttpError::new(
@@ -304,6 +338,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
         413 => "Content Too Large",
         414 => "URI Too Long",
@@ -324,6 +359,9 @@ pub struct HttpResponse {
     pub content_type: &'static str,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// Value of an `Allow` header, set on 405 responses (RFC 9110 §15.5.6
+    /// requires one naming the methods the target does support).
+    pub allow: Option<&'static str>,
 }
 
 impl HttpResponse {
@@ -333,6 +371,7 @@ impl HttpResponse {
             status: 200,
             content_type,
             body: body.into(),
+            allow: None,
         }
     }
 
@@ -348,19 +387,30 @@ impl HttpResponse {
             status,
             content_type: "application/json",
             body: body.into_bytes(),
+            allow: None,
         }
+    }
+
+    /// Attach an `Allow` header (for 405 responses).
+    pub fn with_allow(mut self, methods: &'static str) -> Self {
+        self.allow = Some(methods);
+        self
     }
 
     /// Serialise the response (status line, headers, body) onto `writer`.
     pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             reason_phrase(self.status),
             self.content_type,
             self.body.len()
         )?;
+        if let Some(allow) = self.allow {
+            write!(writer, "Allow: {allow}\r\n")?;
+        }
+        write!(writer, "\r\n")?;
         writer.write_all(&self.body)?;
         writer.flush()
     }
@@ -430,6 +480,45 @@ mod tests {
             error.get("message").and_then(|v| v.as_str()),
             Some("weird \"quoted\" message\n")
         );
+    }
+
+    #[test]
+    fn an_expired_deadline_is_408_even_with_bytes_available() {
+        // The deadline is an overall wall-clock bound: once past it, the
+        // parser stops consuming no matter how much input remains.
+        let raw = b"GET /scenarios HTTP/1.1\r\nHost: t\r\n\r\n";
+        let expired = Instant::now() - std::time::Duration::from_millis(1);
+        let err = parse_request_with_deadline(&mut BufReader::new(&raw[..]), Some(expired))
+            .expect_err("expired deadline must reject");
+        assert_eq!(err.status, 408);
+
+        // A deadline comfortably in the future changes nothing.
+        let future = Instant::now() + std::time::Duration::from_secs(60);
+        let request = parse_request_with_deadline(&mut BufReader::new(&raw[..]), Some(future))
+            .unwrap()
+            .unwrap();
+        assert_eq!(request.path, "/scenarios");
+    }
+
+    #[test]
+    fn expired_deadline_covers_the_body_read_too() {
+        let raw = b"POST /ask HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let expired = Instant::now() - std::time::Duration::from_millis(1);
+        let err = parse_request_with_deadline(&mut BufReader::new(&raw[..]), Some(expired))
+            .expect_err("expired deadline must reject");
+        assert_eq!(err.status, 408);
+    }
+
+    #[test]
+    fn the_allow_header_serialises_on_405() {
+        let mut out = Vec::new();
+        HttpResponse::error(405, "method not allowed")
+            .with_allow("GET")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"), "{text}");
+        assert!(text.contains("Allow: GET\r\n"), "{text}");
     }
 
     #[test]

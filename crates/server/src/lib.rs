@@ -23,8 +23,14 @@
 //! Errors come back as `{"error":{"status":N,"message":...}}` with the status
 //! mirrored in the HTTP status line. Caller mistakes are always 4xx — unknown
 //! scenarios 404, malformed bodies/parameters 400 (including `k = 0`, which
-//! the engine reports as an invalid argument, *not* as an empty retrieval) —
-//! and malformed HTTP never panics a worker (see [`http`] for the limits).
+//! the engine reports as an invalid argument, *not* as an empty retrieval,
+//! and `shards` beyond [`rage_report::MAX_SHARDS`], which is rejected before
+//! it can size any allocation or thread pool), a known path with the wrong
+//! method 405 with an `Allow` header, and a request that trickles past the
+//! configured wall-clock deadline 408. Malformed HTTP never panics a worker
+//! (see [`http`] for the limits), and if a handler *does* panic the worker
+//! catches the unwind and answers 500 — the fixed-size pool never loses a
+//! thread to hostile input.
 //!
 //! ## Cross-request batching
 //!
@@ -57,22 +63,28 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rage_core::RagResponse;
 use rage_json::JsonValue;
 use rage_report::service::ErrorKind;
 use rage_report::{diff, from_json, ReportFormat, Service, ServiceError};
 
-use http::{parse_request, HttpRequest, HttpResponse};
+use http::{parse_request_with_deadline, HttpRequest, HttpResponse};
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Number of connection-handling worker threads.
     pub threads: usize,
-    /// Per-connection socket read timeout (bounds slow-loris requests).
+    /// Per-read socket timeout (bounds a fully silent peer; each blocking
+    /// `read` returns within this long).
     pub read_timeout: Duration,
+    /// Overall wall-clock budget for reading one request. The per-read
+    /// timeout alone cannot stop a slow-loris client that trickles one byte
+    /// per timeout window; this deadline bounds the whole request and
+    /// answers 408 when exceeded.
+    pub request_deadline: Duration,
     /// Admission window of the `/ask` batcher: after the first pending ask of
     /// a round arrives, the dispatcher waits this long before draining the
     /// queue, so bursts of concurrent asks land in the same
@@ -87,6 +99,7 @@ impl Default for ServerConfig {
         Self {
             threads: 4,
             read_timeout: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(30),
             ask_batch_window: Duration::from_millis(2),
         }
     }
@@ -229,18 +242,33 @@ impl AskBatcher {
             }
             for ((scenario, k), group) in groups {
                 let queries: Vec<&str> = group.iter().map(|p| p.query.as_str()).collect();
-                match self.service.ask_many(&scenario, &queries, k) {
-                    Ok(results) => {
+                // A panicking batch must not kill the dispatcher: parked
+                // submitters whose queue entries would never drain again
+                // would block their workers forever. Contain it and answer
+                // the group with 500s instead.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.service.ask_many(&scenario, &queries, k)
+                }));
+                match outcome {
+                    Ok(Ok(results)) => {
                         for (pending, result) in group.iter().zip(results) {
                             let reply = result.map_err(|err| (status_for(&err), err.to_string()));
                             let _ = pending.reply.send(reply);
                         }
                     }
-                    Err(err) => {
+                    Ok(Err(err)) => {
                         let status = status_for(&err);
                         let message = err.to_string();
                         for pending in &group {
                             let _ = pending.reply.send(Err((status, message.clone())));
+                        }
+                    }
+                    Err(_) => {
+                        for pending in &group {
+                            let _ = pending.reply.send(Err((
+                                500,
+                                "internal error while answering the ask batch".to_string(),
+                            )));
                         }
                     }
                 }
@@ -302,6 +330,7 @@ impl Server {
                 let batcher = Arc::clone(&batcher);
                 let requests_served = Arc::clone(&requests_served);
                 let read_timeout = config.read_timeout;
+                let request_deadline = config.request_deadline;
                 std::thread::Builder::new()
                     .name(format!("rage-server-worker-{i}"))
                     .spawn(move || loop {
@@ -317,6 +346,7 @@ impl Server {
                             &batcher,
                             &requests_served,
                             read_timeout,
+                            request_deadline,
                         );
                     })
                     .expect("failed to spawn server worker")
@@ -405,22 +435,36 @@ impl Drop for Server {
 }
 
 /// Parse, route and answer one connection (one request per connection).
+///
+/// The whole parse-and-route path runs under `catch_unwind`: the worker pool
+/// is fixed, so a panicking handler must cost the peer a 500, never the pool
+/// a thread (a few unrecovered panics would otherwise silently reduce
+/// capacity to zero while the accept thread keeps queuing connections).
 fn handle_connection(
     stream: TcpStream,
     service: &Service,
     batcher: &AskBatcher,
     requests_served: &AtomicU64,
     read_timeout: Duration,
+    request_deadline: Duration,
 ) {
     let _ = stream.set_read_timeout(Some(read_timeout));
+    let deadline = Instant::now() + request_deadline;
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
     });
-    let response = match parse_request(&mut reader) {
-        Ok(Some(request)) => route(&request, service, batcher, requests_served),
-        Ok(None) => return, // bare connect/disconnect, nothing to answer
-        Err(err) => err.into(),
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        match parse_request_with_deadline(&mut reader, Some(deadline)) {
+            Ok(Some(request)) => Some(route(&request, service, batcher, requests_served)),
+            Ok(None) => None, // bare connect/disconnect, nothing to answer
+            Err(err) => Some(err.into()),
+        }
+    }));
+    let response = match outcome {
+        Ok(Some(response)) => response,
+        Ok(None) => return,
+        Err(_) => HttpResponse::error(500, "internal error while handling the request"),
     };
     let mut writer = BufWriter::new(stream);
     let _ = response.write_to(&mut writer);
@@ -440,9 +484,18 @@ fn route(
         ("POST", "/ask") => ask_endpoint(request, batcher),
         ("POST", "/diff") => diff_endpoint(request),
         ("GET", "/stats") => stats_json(service, batcher, requests_served),
+        // Known path, wrong method: 405 naming the method that works there —
+        // not 404, which would misreport an existing endpoint as absent.
+        (_, "/" | "/scenarios" | "/report" | "/stats") => method_not_allowed("GET"),
+        (_, "/ask" | "/diff") => method_not_allowed("POST"),
         ("GET" | "POST", _) => HttpResponse::error(404, "no such endpoint"),
         _ => HttpResponse::error(405, "method not allowed (GET and POST only)"),
     }
+}
+
+/// A 405 with the RFC-required `Allow` header naming the supported method.
+fn method_not_allowed(allow: &'static str) -> HttpResponse {
+    HttpResponse::error(405, &format!("method not allowed (use {allow})")).with_allow(allow)
 }
 
 /// `GET /` — a small HTML index linking every scenario to its served report.
@@ -457,8 +510,13 @@ fn index_page(service: &Service) -> HttpResponse {
          structured and markdown renderings of the same report.</p>\n<ul>\n",
     );
     for (name, summary) in service.scenario_list() {
+        // Registry names are plain identifiers today, but the page must not
+        // rely on that: the href gets the percent-encoded name, the link text
+        // the HTML-escaped one.
         html.push_str(&format!(
-            "<li><a href=\"/report?scenario={name}&format=html\">{name}</a> — {}</li>\n",
+            "<li><a href=\"/report?scenario={}&format=html\">{}</a> — {}</li>\n",
+            percent_encode_component(name),
+            html_escape_text(name),
             html_escape_text(summary)
         ));
     }
@@ -471,6 +529,21 @@ fn html_escape_text(value: &str) -> String {
         .replace('&', "&amp;")
         .replace('<', "&lt;")
         .replace('>', "&gt;")
+}
+
+/// Percent-encode a string for use as one query-string value (everything but
+/// RFC 3986 unreserved characters is escaped).
+fn percent_encode_component(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for byte in value.bytes() {
+        match byte {
+            b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(byte as char)
+            }
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
 }
 
 /// `GET /scenarios` — the registry as JSON.

@@ -11,7 +11,7 @@ use std::time::Duration;
 use rage_core::explanation::ReportConfig;
 use rage_json::JsonValue;
 use rage_report::scenarios::{report_for, scenario_by_name, scenario_names};
-use rage_report::{to_json, Service};
+use rage_report::{to_json, Service, MAX_SHARDS};
 use rage_server::{Server, ServerConfig};
 
 /// A split HTTP response: status code, header block, body bytes.
@@ -321,6 +321,17 @@ fn caller_mistakes_map_to_4xx() {
             "shards junk",
             get(&server, "/report?scenario=us_open&shards=two"),
         ),
+        (
+            "shards beyond the cap (would otherwise size allocations/threads)",
+            get(&server, "/report?scenario=us_open&shards=999999999999"),
+        ),
+        (
+            "shards just over the cap",
+            get(
+                &server,
+                &format!("/report?scenario=us_open&shards={}", MAX_SHARDS + 1),
+            ),
+        ),
         ("unknown endpoint", get(&server, "/nope")),
         (
             "ask k=0 is invalid-argument, not empty-context",
@@ -368,6 +379,17 @@ fn caller_mistakes_map_to_4xx() {
 
     let (status, _, _) = exchange(&server, b"DELETE /report HTTP/1.1\r\nHost: t\r\n\r\n");
     assert_eq!(status, 405);
+
+    // Wrong method on a *known* path is 405 + Allow, not a misleading 404.
+    let (status, head, _) = exchange(
+        &server,
+        b"POST /report HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert_eq!(status, 405);
+    assert!(head.contains("Allow: GET"), "{head}");
+    let (status, head, _) = get(&server, "/ask");
+    assert_eq!(status, 405);
+    assert!(head.contains("Allow: POST"), "{head}");
 
     // k=0 must carry the invalid-argument wording from the engine.
     let (status, _, body) = post(

@@ -215,3 +215,42 @@ fn hostile_requests_leave_the_server_serving() {
     assert_eq!(status, 200);
     assert!(String::from_utf8_lossy(&body).contains("us_open"));
 }
+
+/// A slow-loris client — trickling bytes steadily so every individual read
+/// stays under the socket timeout — is cut off by the overall request
+/// deadline with a 408, and the worker it was holding goes straight back to
+/// serving.
+#[test]
+fn trickled_requests_hit_the_request_deadline() {
+    let server = Server::start(
+        "127.0.0.1:0",
+        Arc::new(Service::new()),
+        ServerConfig {
+            threads: 1, // one worker: if the loris held it, nothing else would ever be served
+            read_timeout: Duration::from_secs(5),
+            request_deadline: Duration::from_millis(250),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Keep each gap well under the read timeout but run past the deadline.
+    for chunk in [&b"GET /scena"[..], b"rios", b" HT"] {
+        let _ = stream.write_all(chunk);
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    let _ = stream.write_all(b"TP/1.1\r\nHost: t\r\n\r\n");
+    let mut response = Vec::new();
+    let _ = stream.read_to_end(&mut response);
+    let head = String::from_utf8_lossy(&response);
+    assert!(head.starts_with("HTTP/1.1 408"), "{head}");
+
+    // The lone worker is free again: a prompt request succeeds immediately.
+    let (status, body) = send_raw(&server, b"GET /scenarios HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(String::from_utf8_lossy(&body).contains("us_open"));
+}
