@@ -12,7 +12,7 @@
 use rage_bench::{black_box, scaled, section, Runner};
 use rage_datasets::large_corpus::{self, LargeCorpusConfig};
 use rage_datasets::synthetic::{filler_corpus, filler_queries, FillerConfig};
-use rage_retrieval::{IndexBuilder, Searcher, ShardedIndexBuilder, ShardedSearcher};
+use rage_retrieval::{Document, IndexBuilder, Searcher, ShardedIndexBuilder, ShardedSearcher};
 
 const SHARD_COUNTS: &[usize] = &[2, 4, 8];
 
@@ -114,6 +114,63 @@ fn main() {
                 &result,
             );
         }
+    }
+
+    // Incremental mutation vs rebuild: the cost of applying one document-level
+    // mutation through the delta-segment path against rebuilding the whole
+    // sharded index from the mutated corpus. Rankings are bit-identical by
+    // contract (the incremental property suite proves it); the timings here
+    // record what that contract buys per mutation.
+    section("retrieval: incremental mutation vs rebuild");
+    {
+        let num_docs = 5_000usize;
+        let config = FillerConfig {
+            num_docs,
+            ..FillerConfig::default()
+        };
+        let corpus = filler_corpus(config);
+        let builder = ShardedIndexBuilder::new(8);
+        let breaking = Document::new(
+            "bench-breaking-doc",
+            "Breaking result",
+            "a breaking result lands in the live corpus and must be searchable at once",
+        );
+
+        let mut mutated = corpus.clone();
+        mutated.push(breaking.clone());
+        let rebuild = runner.bench(
+            &format!("mutate/docs={num_docs}/rebuild"),
+            scaled(10),
+            || {
+                black_box(builder.build(&mutated));
+            },
+        );
+
+        let mut index = builder.build(&corpus);
+        let incremental = runner.bench(
+            &format!("mutate/docs={num_docs}/incremental-add-remove"),
+            scaled(10),
+            || {
+                index.add(breaking.clone()).unwrap();
+                index.remove("bench-breaking-doc").unwrap();
+                black_box(index.num_docs());
+            },
+        );
+        runner.ratio(
+            &format!("mutate-speedup/docs={num_docs}"),
+            &rebuild,
+            &incremental,
+        );
+
+        let mut live = builder.build(&mutated);
+        runner.bench(
+            &format!("mutate/docs={num_docs}/incremental-update"),
+            scaled(10),
+            || {
+                live.update(breaking.clone()).unwrap();
+                black_box(live.num_docs());
+            },
+        );
     }
 
     // The registry's large-corpus scenario: the realistic needle-in-a-haystack

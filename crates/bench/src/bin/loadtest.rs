@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! loadtest [--addr HOST:PORT] [--clients N] [--requests N]
-//!          [--scenario NAME] [--out PATH]
+//!          [--scenario NAME] [--out PATH] [--mode close|keep-alive|both]
+//!          [--keep-alive]
 //! ```
 //!
 //! Without `--addr` the bin boots an in-process [`rage_server::Server`] on an
@@ -11,18 +12,28 @@
 //! `--addr` it targets an already-running server. `--clients` concurrent
 //! client threads each issue `--requests` requests in a fixed rotation of the
 //! three serving endpoints (`GET /scenarios`, `GET /report?format=json`,
-//! `POST /ask`), every request on a fresh connection exactly like the
-//! server's one-request-per-connection contract expects. Per-endpoint
-//! latencies are aggregated into p50/p95/p99 (nearest-rank) and written as
-//! JSON to `--out` (default `SERVER_pr.json`).
+//! `POST /ask`).
+//!
+//! Two connection disciplines are measured (both by default, so one
+//! `SERVER_pr.json` records the connection-churn cost side by side):
+//!
+//! * **close** — every request on a fresh connection with
+//!   `Connection: close`, the pre-keep-alive behaviour;
+//! * **keep_alive** — each client holds one persistent connection and frames
+//!   responses by `Content-Length`, reconnecting only when the server closes
+//!   (idle timeout or per-connection request cap).
+//!
+//! Per-endpoint latencies are aggregated into p50/p95/p99 (nearest-rank) per
+//! mode and written as JSON to `--out` (default `SERVER_pr.json`).
 //!
 //! Caveat that also lives in the server crate docs: on the 1-CPU benching
 //! container the worker pool only interleaves, so these percentiles
 //! understate a multicore deployment.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -32,11 +43,31 @@ use rage_server::{Server, ServerConfig};
 
 fn usage() -> &'static str {
     "usage: loadtest [--addr HOST:PORT] [--clients N] [--requests N] \
-     [--scenario NAME] [--out PATH]\n\
+     [--scenario NAME] [--out PATH] [--mode close|keep-alive|both] [--keep-alive]\n\
      \n\
      Drives the rage-server HTTP service (an in-process one unless --addr is\n\
-     given) and writes p50/p95/p99 latencies per endpoint to --out\n\
-     (default SERVER_pr.json).\n"
+     given) and writes p50/p95/p99 latencies per endpoint and connection\n\
+     mode to --out (default SERVER_pr.json). --mode picks the connection\n\
+     discipline (default both); --keep-alive is shorthand for\n\
+     --mode keep-alive.\n"
+}
+
+/// Connection discipline of one measurement pass.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Fresh connection per request, `Connection: close`.
+    Close,
+    /// One persistent connection per client, `Content-Length`-framed reads.
+    KeepAlive,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Close => "close",
+            Mode::KeepAlive => "keep_alive",
+        }
+    }
 }
 
 #[derive(Clone)]
@@ -46,6 +77,7 @@ struct LoadConfig {
     requests_per_client: usize,
     scenario: String,
     out: String,
+    modes: Vec<Mode>,
 }
 
 impl Default for LoadConfig {
@@ -56,6 +88,7 @@ impl Default for LoadConfig {
             requests_per_client: 25,
             scenario: "us_open".to_string(),
             out: "SERVER_pr.json".to_string(),
+            modes: vec![Mode::Close, Mode::KeepAlive],
         }
     }
 }
@@ -93,6 +126,91 @@ fn timed_request(addr: SocketAddr, raw: &[u8], endpoint: &'static str) -> Result
         latency,
         status,
     })
+}
+
+/// One persistent connection: read one `Content-Length`-framed response,
+/// returning `(status, server_keeps_alive)`.
+fn read_framed(reader: &mut BufReader<TcpStream>) -> Result<(u16, bool), String> {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|err| format!("framed read: {err}"))?;
+        if n == 0 {
+            return Err("connection closed mid-response".to_string());
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| format!("unreadable status line: {head:?}"))?;
+    let mut keeps_alive = false;
+    let mut content_length = 0usize;
+    for line in head.lines() {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length: {line:?}"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keeps_alive = value.trim().eq_ignore_ascii_case("keep-alive");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|err| format!("framed body read: {err}"))?;
+    Ok((status, keeps_alive))
+}
+
+/// One client's requests over a persistent connection, reconnecting only when
+/// the server closes it. Increments `connections` per connect.
+fn keep_alive_client(
+    addr: SocketAddr,
+    requests: &[(&'static str, Vec<u8>)],
+    count: usize,
+    offset: usize,
+    connections: &AtomicU64,
+) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::with_capacity(count);
+    let mut reader: Option<BufReader<TcpStream>> = None;
+    for i in 0..count {
+        let (endpoint, raw) = &requests[(offset + i) % requests.len()];
+        let mut conn = match reader.take() {
+            Some(conn) => conn,
+            None => {
+                let stream = TcpStream::connect(addr)
+                    .map_err(|err| format!("{endpoint}: connect: {err}"))?;
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .map_err(|err| format!("{endpoint}: timeout: {err}"))?;
+                connections.fetch_add(1, Ordering::Relaxed);
+                BufReader::new(stream)
+            }
+        };
+        let start = Instant::now();
+        conn.get_ref()
+            .write_all(raw)
+            .map_err(|err| format!("{endpoint}: write: {err}"))?;
+        let (status, keeps_alive) = read_framed(&mut conn)?;
+        samples.push(Sample {
+            endpoint,
+            latency: start.elapsed(),
+            status,
+        });
+        if keeps_alive {
+            reader = Some(conn);
+        }
+    }
+    Ok(samples)
 }
 
 /// Nearest-rank percentile over sorted `samples`.
@@ -172,6 +290,23 @@ fn parse_args(args: &[String]) -> Result<LoadConfig, String> {
             }
             "--scenario" => config.scenario = value(args, i, "--scenario")?,
             "--out" => config.out = value(args, i, "--out")?,
+            "--keep-alive" => {
+                config.modes = vec![Mode::KeepAlive];
+                i += 1;
+                continue;
+            }
+            "--mode" => {
+                config.modes = match value(args, i, "--mode")?.as_str() {
+                    "close" => vec![Mode::Close],
+                    "keep-alive" | "keep_alive" => vec![Mode::KeepAlive],
+                    "both" => vec![Mode::Close, Mode::KeepAlive],
+                    other => {
+                        return Err(format!(
+                            "--mode must be close, keep-alive or both (got {other:?})"
+                        ))
+                    }
+                };
+            }
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
         i += 2;
@@ -207,32 +342,38 @@ fn run(config: LoadConfig) -> Result<(), String> {
     let ask_body = format!(
         r#"{{"scenario": "{scenario}", "query": "who won the championship final", "k": 3}}"#
     );
-    let requests: Vec<(&'static str, Vec<u8>)> = vec![
-        (
-            "scenarios",
-            b"GET /scenarios HTTP/1.1\r\nHost: loadtest\r\n\r\n".to_vec(),
-        ),
-        (
-            "report_json",
-            format!(
-                "GET /report?scenario={scenario}&format=json HTTP/1.1\r\nHost: loadtest\r\n\r\n"
-            )
-            .into_bytes(),
-        ),
-        (
-            "ask",
-            format!(
-                "POST /ask HTTP/1.1\r\nHost: loadtest\r\nContent-Length: {}\r\n\r\n{ask_body}",
-                ask_body.len()
-            )
-            .into_bytes(),
-        ),
-    ];
+    // Close-mode requests carry an explicit `Connection: close`; keep-alive
+    // requests rely on the HTTP/1.1 default so the connection persists.
+    let build_requests = |close: bool| -> Vec<(&'static str, Vec<u8>)> {
+        let connection = if close { "Connection: close\r\n" } else { "" };
+        vec![
+            (
+                "scenarios",
+                format!("GET /scenarios HTTP/1.1\r\nHost: loadtest\r\n{connection}\r\n")
+                    .into_bytes(),
+            ),
+            (
+                "report_json",
+                format!(
+                    "GET /report?scenario={scenario}&format=json HTTP/1.1\r\nHost: loadtest\r\n{connection}\r\n"
+                )
+                .into_bytes(),
+            ),
+            (
+                "ask",
+                format!(
+                    "POST /ask HTTP/1.1\r\nHost: loadtest\r\nContent-Length: {}\r\n{connection}\r\n{ask_body}",
+                    ask_body.len()
+                )
+                .into_bytes(),
+            ),
+        ]
+    };
 
     // Pre-flight: one of each, so cold-start cost (index + pipeline build on
     // the first /report) never skews a concurrent percentile, and failures
     // surface before the fan-out.
-    for (endpoint, raw) in &requests {
+    for (endpoint, raw) in &build_requests(true) {
         let sample = timed_request(addr, raw, endpoint)?;
         if sample.status != 200 {
             return Err(format!("{endpoint}: pre-flight answered {}", sample.status));
@@ -250,59 +391,125 @@ fn run(config: LoadConfig) -> Result<(), String> {
         }
     );
 
-    let started = Instant::now();
-    let requests = Arc::new(requests);
-    let handles: Vec<_> = (0..config.clients)
-        .map(|client| {
-            let requests = Arc::clone(&requests);
-            let count = config.requests_per_client;
-            std::thread::spawn(move || -> Result<Vec<Sample>, String> {
-                let mut samples = Vec::with_capacity(count);
-                for i in 0..count {
-                    // Stagger the rotation per client so endpoints overlap.
-                    let (endpoint, raw) = &requests[(client + i) % requests.len()];
-                    samples.push(timed_request(addr, raw, endpoint)?);
-                }
-                Ok(samples)
+    let mut mode_sections: Vec<(String, JsonValue)> = Vec::new();
+    for &mode in &config.modes {
+        let requests = Arc::new(build_requests(mode == Mode::Close));
+        let connections = Arc::new(AtomicU64::new(0));
+        let started = Instant::now();
+        let handles: Vec<_> = (0..config.clients)
+            .map(|client| {
+                let requests = Arc::clone(&requests);
+                let connections = Arc::clone(&connections);
+                let count = config.requests_per_client;
+                std::thread::spawn(move || -> Result<Vec<Sample>, String> {
+                    match mode {
+                        Mode::KeepAlive => {
+                            // Stagger the rotation per client so endpoints
+                            // overlap; one persistent connection per client.
+                            keep_alive_client(addr, &requests, count, client, &connections)
+                        }
+                        Mode::Close => {
+                            let mut samples = Vec::with_capacity(count);
+                            for i in 0..count {
+                                let (endpoint, raw) = &requests[(client + i) % requests.len()];
+                                connections.fetch_add(1, Ordering::Relaxed);
+                                samples.push(timed_request(addr, raw, endpoint)?);
+                            }
+                            Ok(samples)
+                        }
+                    }
+                })
             })
-        })
-        .collect();
+            .collect();
 
-    let mut samples: Vec<Sample> = Vec::new();
-    for handle in handles {
-        samples.extend(handle.join().map_err(|_| "client thread panicked")??);
-    }
-    let wall = started.elapsed();
-
-    let failures = samples.iter().filter(|s| s.status != 200).count();
-    if failures > 0 {
-        return Err(format!("{failures} of {} requests failed", samples.len()));
-    }
-
-    let mut per_endpoint: Vec<(&'static str, Vec<Duration>)> = Vec::new();
-    let mut all: Vec<Duration> = Vec::new();
-    for sample in &samples {
-        all.push(sample.latency);
-        match per_endpoint
-            .iter_mut()
-            .find(|(name, _)| *name == sample.endpoint)
-        {
-            Some((_, bucket)) => bucket.push(sample.latency),
-            None => per_endpoint.push((sample.endpoint, vec![sample.latency])),
+        let mut samples: Vec<Sample> = Vec::new();
+        for handle in handles {
+            samples.extend(handle.join().map_err(|_| "client thread panicked")??);
         }
+        let wall = started.elapsed();
+
+        let failures = samples.iter().filter(|s| s.status != 200).count();
+        if failures > 0 {
+            return Err(format!(
+                "{} mode: {failures} of {} requests failed",
+                mode.label(),
+                samples.len()
+            ));
+        }
+
+        let mut per_endpoint: Vec<(&'static str, Vec<Duration>)> = Vec::new();
+        let mut all: Vec<Duration> = Vec::new();
+        for sample in &samples {
+            all.push(sample.latency);
+            match per_endpoint
+                .iter_mut()
+                .find(|(name, _)| *name == sample.endpoint)
+            {
+                Some((_, bucket)) => bucket.push(sample.latency),
+                None => per_endpoint.push((sample.endpoint, vec![sample.latency])),
+            }
+        }
+        let mut endpoints: Vec<(String, JsonValue)> = Vec::new();
+        for (name, mut latencies) in per_endpoint {
+            endpoints.push((name.to_string(), summarise(&mut latencies)));
+        }
+
+        let section = JsonValue::Object(vec![
+            ("total".into(), summarise(&mut all)),
+            ("endpoints".into(), JsonValue::Object(endpoints)),
+            ("wall_seconds".into(), JsonValue::Number(wall.as_secs_f64())),
+            (
+                "throughput_rps".into(),
+                JsonValue::Number(samples.len() as f64 / wall.as_secs_f64()),
+            ),
+            (
+                "connections".into(),
+                JsonValue::Number(connections.load(Ordering::Relaxed) as f64),
+            ),
+        ]);
+
+        eprintln!(
+            "  mode {} — {} requests over {} connections in {:.2}s",
+            mode.label(),
+            samples.len(),
+            connections.load(Ordering::Relaxed),
+            wall.as_secs_f64()
+        );
+        for (name, summary) in section
+            .get("endpoints")
+            .and_then(|v| match v {
+                JsonValue::Object(members) => Some(members.as_slice()),
+                _ => None,
+            })
+            .unwrap_or(&[])
+        {
+            eprintln!(
+                "    {name:12} p50 {:8.0}us  p95 {:8.0}us  p99 {:8.0}us",
+                summary
+                    .get("p50_us")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0),
+                summary
+                    .get("p95_us")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0),
+                summary
+                    .get("p99_us")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0),
+            );
+        }
+
+        mode_sections.push((mode.label().to_string(), section));
     }
 
-    let mut endpoints: Vec<(String, JsonValue)> = Vec::new();
-    for (name, mut latencies) in per_endpoint {
-        endpoints.push((name.to_string(), summarise(&mut latencies)));
-    }
     let batch = in_process
         .as_ref()
         .map(|server| server.batch_stats())
         .unwrap_or_default();
 
     let doc = JsonValue::Object(vec![
-        ("schema".into(), JsonValue::String("rage-loadtest/1".into())),
+        ("schema".into(), JsonValue::String("rage-loadtest/2".into())),
         (
             "config".into(),
             JsonValue::Object(vec![
@@ -316,15 +523,19 @@ fn run(config: LoadConfig) -> Result<(), String> {
                     "in_process_server".into(),
                     JsonValue::Bool(in_process.is_some()),
                 ),
+                (
+                    "modes".into(),
+                    JsonValue::Array(
+                        config
+                            .modes
+                            .iter()
+                            .map(|mode| JsonValue::String(mode.label().to_string()))
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
-        ("total".into(), summarise(&mut all)),
-        ("endpoints".into(), JsonValue::Object(endpoints)),
-        ("wall_seconds".into(), JsonValue::Number(wall.as_secs_f64())),
-        (
-            "throughput_rps".into(),
-            JsonValue::Number(samples.len() as f64 / wall.as_secs_f64()),
-        ),
+        ("modes".into(), JsonValue::Object(mode_sections)),
         (
             "ask_batching".into(),
             JsonValue::Object(vec![
@@ -342,37 +553,7 @@ fn run(config: LoadConfig) -> Result<(), String> {
     rendered.push('\n');
     std::fs::write(&config.out, &rendered)
         .map_err(|err| format!("cannot write {}: {err}", config.out))?;
-
-    for (name, summary) in doc
-        .get("endpoints")
-        .and_then(|v| match v {
-            JsonValue::Object(members) => Some(members.as_slice()),
-            _ => None,
-        })
-        .unwrap_or(&[])
-    {
-        eprintln!(
-            "  {name:12} p50 {:8.0}us  p95 {:8.0}us  p99 {:8.0}us",
-            summary
-                .get("p50_us")
-                .and_then(JsonValue::as_f64)
-                .unwrap_or(0.0),
-            summary
-                .get("p95_us")
-                .and_then(JsonValue::as_f64)
-                .unwrap_or(0.0),
-            summary
-                .get("p99_us")
-                .and_then(JsonValue::as_f64)
-                .unwrap_or(0.0),
-        );
-    }
-    eprintln!(
-        "loadtest: {} requests in {:.2}s -> {}",
-        samples.len(),
-        wall.as_secs_f64(),
-        config.out
-    );
+    eprintln!("loadtest: wrote {}", config.out);
 
     if let Some(server) = in_process {
         server.shutdown();

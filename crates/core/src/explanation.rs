@@ -56,6 +56,22 @@ impl Default for ReportConfig {
     }
 }
 
+/// Identity of the corpus a report was generated against.
+///
+/// Stamped by services that track mutable corpora (`rage_report::Service`): the
+/// monotonically increasing corpus version, the order-independent content
+/// fingerprint and the live document count at generation time. Library paths that
+/// explain over an anonymous, immutable corpus leave it `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusProvenance {
+    /// Monotonically increasing mutation counter of the corpus (1 = as built).
+    pub version: u64,
+    /// Order-independent content hash of the corpus at generation time.
+    pub fingerprint: u64,
+    /// Number of live documents at generation time.
+    pub num_docs: usize,
+}
+
 /// The complete explanation of one RAG answer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RageReport {
@@ -85,6 +101,12 @@ pub struct RageReport {
     pub evaluations: usize,
     /// Total LLM inferences paid for (cache hits excluded).
     pub llm_calls: usize,
+    /// Identity of the corpus the report describes, when the generator tracks one.
+    ///
+    /// `None` on the library generation path ([`RageReport::generate`]); services
+    /// with versioned corpora stamp it after generation.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub corpus: Option<CorpusProvenance>,
 }
 
 impl RageReport {
@@ -148,6 +170,7 @@ impl RageReport {
             insights,
             evaluations: evaluator.evaluations() - evaluations_before,
             llm_calls: evaluator.llm_calls() - llm_calls_before,
+            corpus: None,
         })
     }
 

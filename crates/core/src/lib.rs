@@ -96,7 +96,7 @@ pub use answer::{answers_equal, normalize_answer};
 pub use context::{Context, ContextSource};
 pub use error::RageError;
 pub use evaluator::{CacheStats, Evaluate, Evaluator, ParallelEvaluator};
-pub use explanation::RageReport;
+pub use explanation::{CorpusProvenance, RageReport};
 pub use perturbation::Perturbation;
 pub use pipeline::{RagPipeline, RagResponse};
 pub use scoring::ScoringMethod;

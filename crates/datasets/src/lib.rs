@@ -27,6 +27,9 @@
 //!   + champion→coach link), with a distractor coach ready to take over.
 //! * [`adversarial`] — near-duplicate documents asserting contradictory facts, with
 //!   exactly tied BM25 scores.
+//! * [`live_updates`] — a champions corpus paired with a scripted mutation sequence
+//!   (breaking result, correction, retraction); the standard fixture for live-corpus
+//!   and cache-invalidation tests.
 //!
 //! ## The scenario registry
 //!
@@ -44,6 +47,7 @@
 pub mod adversarial;
 pub mod big_three;
 pub mod large_corpus;
+pub mod live_updates;
 pub mod multi_hop;
 pub mod registry;
 pub mod scenario;

@@ -20,7 +20,9 @@
 //!    new entry up automatically.
 
 use crate::scenario::Scenario;
-use crate::{adversarial, big_three, large_corpus, multi_hop, synthetic, timeline, us_open};
+use crate::{
+    adversarial, big_three, large_corpus, live_updates, multi_hop, synthetic, timeline, us_open,
+};
 
 /// Optional knobs a registry caller can pass to a scenario builder.
 ///
@@ -216,6 +218,16 @@ impl ScenarioRegistry {
              rules and permutation sensitivity under contradiction.",
             |_| adversarial::scenario(),
         ));
+        registry.register(ScenarioEntry::new(
+            "live_updates",
+            "Champions corpus plus a scripted mutation sequence (add/correct/retract).",
+            "A seed corpus of past champions paired with a scripted sequence of corpus \
+             mutations: a breaking result lands, is corrected, and is retracted. The \
+             question is a most-recent one, so every mutation moves the grounded \
+             answer; the standard fixture for live-corpus and cache-invalidation \
+             tests (see `rage_datasets::live_updates::mutation_script`).",
+            |_| live_updates::scenario(),
+        ));
         registry
     }
 
@@ -285,10 +297,11 @@ mod tests {
                 "synthetic",
                 "large_corpus",
                 "multi_hop",
-                "adversarial"
+                "adversarial",
+                "live_updates"
             ]
         );
-        assert_eq!(registry.len(), 7);
+        assert_eq!(registry.len(), 8);
         assert!(!registry.is_empty());
     }
 

@@ -209,6 +209,16 @@ impl PrefixCache {
         value
     }
 
+    /// Drop every cached entry (counters are kept). Entries are pure functions
+    /// of their keys, so clearing can only cost recomputation, never change
+    /// results — services call this when the corpus behind a pipeline mutates,
+    /// guaranteeing no state predating the mutation survives.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("prefix cache poisoned");
+        inner.embeddings = BoundedMap::new(self.capacity);
+        inner.projections = BoundedMap::new(self.capacity);
+    }
+
     /// The layer-0 projection of the embedding of `(token_id, position)`
     /// under `head`, computing it with `compute` on a miss.
     pub fn layer0_projection(
@@ -250,6 +260,21 @@ mod tests {
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.evictions, 0);
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clear_drops_entries_but_keeps_counters() {
+        let cache = PrefixCache::with_capacity(8);
+        cache.embedding(1, 0, || vec![1.0]);
+        cache.layer0_projection(0, 1, 0, || vec![2.0]);
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 2);
+        // Re-computation after clear yields the same value (pure function of key).
+        let again = cache.embedding(1, 0, || vec![1.0]);
+        assert_eq!(*again, vec![1.0]);
+        assert_eq!(cache.stats().misses, 3);
     }
 
     #[test]

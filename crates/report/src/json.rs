@@ -16,7 +16,7 @@ use rage_core::insights::{
     PresenceRule,
 };
 use rage_core::optimal::OptimalPermutation;
-use rage_core::{Context, ContextSource, RageReport};
+use rage_core::{Context, ContextSource, CorpusProvenance, RageReport};
 use rage_json::JsonValue;
 
 /// The schema version emitted by [`to_json`] and accepted by [`from_json`].
@@ -241,7 +241,7 @@ fn context_to_json(context: &Context) -> JsonValue {
 /// The result renders to valid JSON via [`JsonValue::render`] and decodes
 /// back to an equal report via [`from_json`].
 pub fn to_json(report: &RageReport) -> JsonValue {
-    obj(vec![
+    let mut members = vec![
         ("schema_version", int(SCHEMA_VERSION as usize)),
         ("kind", s(KIND)),
         ("question", s(&report.question)),
@@ -275,7 +275,24 @@ pub fn to_json(report: &RageReport) -> JsonValue {
                 ("llm_calls", int(report.llm_calls)),
             ]),
         ),
-    ])
+    ];
+    // Optional member: only reports generated against a versioned corpus carry
+    // provenance, so documents from the library path are byte-identical to
+    // pre-provenance builds (adding members is backwards-compatible within a
+    // schema version).
+    if let Some(corpus) = &report.corpus {
+        members.push((
+            "corpus",
+            obj(vec![
+                ("version", int(corpus.version as usize)),
+                // The fingerprint is a full 64-bit hash; JSON numbers are f64
+                // and lose precision past 2^53, so it travels as fixed-width hex.
+                ("fingerprint", s(&format!("{:016x}", corpus.fingerprint))),
+                ("num_docs", int(corpus.num_docs)),
+            ]),
+        ));
+    }
+    obj(members)
 }
 
 // ---- decoding ----------------------------------------------------------
@@ -570,7 +587,24 @@ pub fn from_json(value: &JsonValue) -> Result<RageReport, ReportJsonError> {
         insights: insights_from_json(get(value, "$", "insights")?, "$.insights")?,
         evaluations: get_usize(cost, "$.cost", "evaluations")?,
         llm_calls: get_usize(cost, "$.cost", "llm_calls")?,
+        corpus: corpus_from_json(value)?,
     })
+}
+
+/// The optional `corpus` provenance member: absent means `None`.
+fn corpus_from_json(value: &JsonValue) -> Result<Option<CorpusProvenance>, ReportJsonError> {
+    let Some(corpus) = value.get("corpus") else {
+        return Ok(None);
+    };
+    let fingerprint = get_str(corpus, "$.corpus", "fingerprint")?;
+    let fingerprint = u64::from_str_radix(&fingerprint, 16).map_err(|_| {
+        ReportJsonError::new("$.corpus.fingerprint", "expected a 64-bit hex string")
+    })?;
+    Ok(Some(CorpusProvenance {
+        version: get_usize(corpus, "$.corpus", "version")? as u64,
+        fingerprint,
+        num_docs: get_usize(corpus, "$.corpus", "num_docs")?,
+    }))
 }
 
 #[cfg(test)]
@@ -620,6 +654,32 @@ mod tests {
         let original = report();
         let decoded = from_json(&to_json(&original)).unwrap();
         assert_eq!(decoded, original);
+    }
+
+    #[test]
+    fn corpus_provenance_is_optional_and_round_trips() {
+        let mut stamped = report();
+        assert!(
+            to_json(&stamped).get("corpus").is_none(),
+            "library reports carry no provenance member"
+        );
+        stamped.corpus = Some(CorpusProvenance {
+            version: 3,
+            fingerprint: 0xdead_beef_0042_0042,
+            num_docs: 7,
+        });
+        let value = to_json(&stamped);
+        assert_eq!(
+            value
+                .get("corpus")
+                .and_then(|c| c.get("fingerprint"))
+                .and_then(JsonValue::as_str),
+            Some("deadbeef00420042")
+        );
+        let decoded = from_json(&value).unwrap();
+        assert_eq!(decoded, stamped);
+        let reparsed = JsonValue::parse(&value.render()).unwrap();
+        assert_eq!(reparsed, value);
     }
 
     #[test]

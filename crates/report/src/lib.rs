@@ -102,6 +102,10 @@ pub use diff::{diff, ReportDiff};
 pub use html::render_html;
 pub use json::{from_json, to_json, ReportJsonError, SCHEMA_VERSION};
 pub use service::{ReportCacheStats, ReportFormat, Service, ServiceError, MAX_SHARDS};
+// Re-exported so Service callers (the HTTP server above all) can build the
+// documents they feed the corpus-mutation API without a direct dependency on
+// the retrieval crate.
+pub use rage_retrieval::Document;
 
 /// Escape a value for use inside a markdown table cell.
 ///

@@ -91,6 +91,15 @@ fn adversarial_snapshots_are_stable() {
 }
 
 #[test]
+fn live_updates_snapshots_are_stable() {
+    // Pins the *seed* corpus rendering; the mutation script is exercised by
+    // the service and endpoint tests, not the goldens (reports over mutated
+    // corpora are stamped with provenance and compared against fresh oracles
+    // there).
+    check_scenario("live_updates");
+}
+
+#[test]
 fn snapshot_list_matches_cli_scenarios() {
     // Every scenario the registry knows has a pinned pair of snapshots (guards
     // against registering a scenario without extending the golden coverage).

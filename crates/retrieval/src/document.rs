@@ -97,6 +97,34 @@ impl Corpus {
         Ok(())
     }
 
+    /// Remove a document by id, returning it. `None` when the id is not present.
+    pub fn remove(&mut self, id: &str) -> Option<Document> {
+        let pos = self.documents.iter().position(|d| d.id == id)?;
+        Some(self.documents.remove(pos))
+    }
+
+    /// Replace the document carrying `doc.id` in place, returning the previous
+    /// version. Fails with [`RetrievalError::UnknownDocument`] when no document with
+    /// that id exists.
+    pub fn replace(&mut self, doc: Document) -> Result<Document, RetrievalError> {
+        match self.documents.iter_mut().find(|d| d.id == doc.id) {
+            Some(slot) => Ok(std::mem::replace(slot, doc)),
+            None => Err(RetrievalError::UnknownDocument(doc.id)),
+        }
+    }
+
+    /// Insert or replace: replace the document carrying `doc.id` if present, append
+    /// it otherwise. Returns the previous version when there was one.
+    pub fn upsert(&mut self, doc: Document) -> Option<Document> {
+        match self.documents.iter_mut().find(|d| d.id == doc.id) {
+            Some(slot) => Some(std::mem::replace(slot, doc)),
+            None => {
+                self.documents.push(doc);
+                None
+            }
+        }
+    }
+
     /// Number of documents.
     pub fn len(&self) -> usize {
         self.documents.len()
@@ -277,6 +305,30 @@ mod tests {
         let mut c = sample();
         let err = c.try_push(Document::new("d1", "dup", "dup")).unwrap_err();
         assert!(matches!(err, RetrievalError::DuplicateDocumentId(_)));
+    }
+
+    #[test]
+    fn remove_replace_and_upsert() {
+        let mut c = sample();
+        let removed = c.remove("d1").unwrap();
+        assert_eq!(removed.title, "Match wins");
+        assert!(c.remove("d1").is_none());
+        assert_eq!(c.len(), 1);
+
+        let old = c
+            .replace(Document::new("d2", "Slams", "Djokovic has 24 majors"))
+            .unwrap();
+        assert_eq!(old.title, "Grand slams");
+        assert_eq!(c.get("d2").unwrap().title, "Slams");
+        assert!(matches!(
+            c.replace(Document::new("ghost", "", "x")),
+            Err(RetrievalError::UnknownDocument(_))
+        ));
+
+        assert!(c.upsert(Document::new("d3", "", "new doc")).is_none());
+        assert!(c.upsert(Document::new("d3", "", "newer doc")).is_some());
+        assert_eq!(c.get("d3").unwrap().text, "newer doc");
+        assert_eq!(c.len(), 2);
     }
 
     #[test]

@@ -20,7 +20,13 @@
 //! * [`retriever`] — the [`Retriever`](retriever::Retriever) trait every retrieval
 //!   backend implements.
 //! * [`sharded`] — the partitioned [`ShardedSearcher`](sharded::ShardedSearcher)
-//!   backend for large corpora.
+//!   backend for large corpora, with incremental mutation
+//!   ([`ShardedIndex::add`](sharded::ShardedIndex::add)/`remove`/`update`) through
+//!   per-shard delta segments, and the thread-safe mutable
+//!   [`LiveSearcher`](sharded::LiveSearcher). Every mutation advances a
+//!   [`CorpusVersion`](retriever::CorpusVersion) (monotonic counter plus
+//!   order-independent content fingerprint) that caches key on; see the `sharded`
+//!   module docs for the delta/compaction contract.
 //!
 //! ## The Retriever trait + sharding
 //!
@@ -92,7 +98,10 @@ pub use bm25::Bm25Params;
 pub use document::{Corpus, Document};
 pub use error::RetrievalError;
 pub use index::{IndexBuilder, InvertedIndex};
-pub use retriever::Retriever;
+pub use retriever::{CorpusVersion, Retriever};
 pub use searcher::{RankedSource, Searcher};
-pub use sharded::{ShardedIndex, ShardedIndexBuilder, ShardedSearcher};
+pub use sharded::{
+    corpus_fingerprint, document_fingerprint, LiveSearcher, ShardedIndex, ShardedIndexBuilder,
+    ShardedSearcher,
+};
 pub use tokenize::Tokenizer;

@@ -17,8 +17,27 @@
 //! corpus layout, partitioning or merge order. The sharding equivalence suite
 //! (`crates/retrieval/tests/sharding.rs`) locks this in bit-for-bit.
 
+use serde::{Deserialize, Serialize};
+
 use crate::error::RetrievalError;
 use crate::searcher::RankedSource;
+
+/// The identity of one corpus state: a monotonically increasing version number plus an
+/// order-independent content fingerprint.
+///
+/// A freshly built index is version 1; every mutation (`add`/`remove`/`update`)
+/// increments the version, while compaction — which only reorganises the layout —
+/// never does. The fingerprint is a wrapping sum of per-document FNV-1a hashes, so two
+/// corpora holding the same documents (in any order) fingerprint identically.
+/// Downstream caches key on the version and can use the fingerprint to detect that two
+/// versions actually hold the same content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CorpusVersion {
+    /// Monotonically increasing mutation counter (1 = as built).
+    pub version: u64,
+    /// Order-independent content hash of the live documents.
+    pub fingerprint: u64,
+}
 
 /// A retrieval backend producing the ranked context `Dq` for a query `q`.
 ///
@@ -45,6 +64,17 @@ pub trait Retriever: Send + Sync {
 
     /// Number of documents in the indexed collection.
     fn num_docs(&self) -> usize;
+
+    /// The identity of the corpus state this retriever answers from, if the backend
+    /// tracks one.
+    ///
+    /// Mutable backends ([`LiveSearcher`](crate::sharded::LiveSearcher),
+    /// [`ShardedSearcher`](crate::sharded::ShardedSearcher)) return the current
+    /// [`CorpusVersion`]; immutable backends keep the `None` default. Pipelines and
+    /// services thread this value into cache keys and report provenance.
+    fn corpus_version(&self) -> Option<CorpusVersion> {
+        None
+    }
 }
 
 impl<R: Retriever + ?Sized> Retriever for &R {
@@ -58,6 +88,10 @@ impl<R: Retriever + ?Sized> Retriever for &R {
 
     fn num_docs(&self) -> usize {
         (**self).num_docs()
+    }
+
+    fn corpus_version(&self) -> Option<CorpusVersion> {
+        (**self).corpus_version()
     }
 }
 
@@ -73,6 +107,10 @@ impl<R: Retriever + ?Sized> Retriever for Box<R> {
     fn num_docs(&self) -> usize {
         (**self).num_docs()
     }
+
+    fn corpus_version(&self) -> Option<CorpusVersion> {
+        (**self).corpus_version()
+    }
 }
 
 impl<R: Retriever + ?Sized> Retriever for std::sync::Arc<R> {
@@ -86,6 +124,10 @@ impl<R: Retriever + ?Sized> Retriever for std::sync::Arc<R> {
 
     fn num_docs(&self) -> usize {
         (**self).num_docs()
+    }
+
+    fn corpus_version(&self) -> Option<CorpusVersion> {
+        (**self).corpus_version()
     }
 }
 

@@ -1,4 +1,5 @@
-//! Sharded BM25 retrieval: per-shard indexes, globally exact merged rankings.
+//! Sharded BM25 retrieval: per-shard indexes, globally exact merged rankings, and
+//! incremental mutation through per-shard delta segments.
 //!
 //! [`ShardedSearcher`] partitions a corpus into `N` contiguous shards, builds one
 //! [`InvertedIndex`] per shard (optionally in parallel), and answers queries by merging
@@ -19,18 +20,94 @@
 //!    `f64::total_cmp` with ties broken by ascending document id (never by an
 //!    index-local ordinal), so the ranking is a pure function of the `(document,
 //!    score)` set. Each shard's local top-k necessarily contains every member of the
-//!    global top-k that lives in that shard, which makes the `N·k`-candidate merge
-//!    exact rather than approximate.
+//!    global top-k that lives in that shard, which makes the merge exact rather than
+//!    approximate.
+//!
+//! ## The delta/compaction contract
+//!
+//! [`ShardedIndex`] is mutable: [`add`](ShardedIndex::add),
+//! [`remove`](ShardedIndex::remove) and [`update`](ShardedIndex::update) change the
+//! live document set without rebuilding the whole index. Each shard holds two
+//! segments:
+//!
+//! * a **base** segment — the immutable index built at construction (or at the last
+//!   compaction), with a set of *tombstoned* ordinals for documents removed since;
+//! * a **delta** segment — a small index over the documents added since, rebuilt on
+//!   each mutation (the delta is bounded, so this is cheap).
+//!
+//! The global collection statistics (`num_docs`, total analysed length and therefore
+//! `avg_doc_len`, per-term `doc_freq`) are maintained **exactly** on every mutation:
+//! integer token counts are added/subtracted (order-independent), and tombstoned
+//! documents are subtracted from the per-term document frequencies they contributed
+//! to. Queries score every segment with these global stats and zero out tombstoned
+//! ordinals before selection, so by the two mechanisms above the ranking and every
+//! score are **bit-identical to a from-scratch
+//! [`ShardedIndexBuilder::build`]** of the current live document set — at every
+//! version. The incremental-equivalence suite
+//! (`crates/retrieval/tests/incremental.rs`) pins this across random interleavings of
+//! mutations and compactions.
+//!
+//! **Compaction** merges a shard's live base documents and delta documents into a new
+//! base segment and clears the tombstones. It is a pure layout change: scores,
+//! rankings, statistics, the [`CorpusVersion`] and the fingerprint are all unchanged.
+//! Compaction runs automatically when a shard's delta grows past a fixed bound or
+//! tombstones outnumber half its base, and on demand via
+//! [`compact`](ShardedIndex::compact).
+//!
+//! Every mutation increments the index's [`CorpusVersion`] (a fresh build is
+//! version 1) and maintains an order-independent content fingerprint; downstream
+//! caches key on the version to invalidate stale results.
 
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread;
 
 use crate::bm25::{score_all_with, Bm25Params, CollectionStats};
-use crate::document::Corpus;
+use crate::document::{Corpus, Document};
 use crate::error::RetrievalError;
 use crate::index::{IndexBuilder, InvertedIndex};
-use crate::retriever::Retriever;
+use crate::retriever::{CorpusVersion, Retriever};
 use crate::searcher::{rank_cmp, select_top_k, RankedSource};
 use crate::tokenize::Tokenizer;
+
+/// A delta segment larger than this triggers automatic compaction of its shard.
+const DELTA_COMPACT_LIMIT: usize = 64;
+
+/// FNV-1a 64-bit offset basis / prime.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    // Field separator so concatenation ambiguities cannot collide trivially.
+    *hash ^= 0xff;
+    *hash = hash.wrapping_mul(FNV_PRIME);
+}
+
+/// Content hash of one document (id, title, text and metadata fields).
+pub fn document_fingerprint(doc: &Document) -> u64 {
+    let mut hash = FNV_OFFSET;
+    fnv1a(&mut hash, doc.id.as_bytes());
+    fnv1a(&mut hash, doc.title.as_bytes());
+    fnv1a(&mut hash, doc.text.as_bytes());
+    for (key, value) in &doc.fields {
+        fnv1a(&mut hash, key.as_bytes());
+        fnv1a(&mut hash, value.as_bytes());
+    }
+    hash
+}
+
+/// Order-independent content fingerprint of a whole corpus: the wrapping sum of its
+/// [`document_fingerprint`]s. Two corpora holding the same documents in any order
+/// fingerprint identically; it is what [`CorpusVersion::fingerprint`] carries.
+pub fn corpus_fingerprint(corpus: &Corpus) -> u64 {
+    corpus
+        .iter()
+        .fold(0u64, |acc, doc| acc.wrapping_add(document_fingerprint(doc)))
+}
 
 /// Builder for [`ShardedIndex`]: how many shards, which tokenizer, and whether the
 /// per-shard indexes are built on worker threads.
@@ -115,11 +192,26 @@ impl ShardedIndexBuilder {
             total_len as f64 / num_docs as f64
         };
 
+        let empty_delta = index_builder.build(&Corpus::new());
+        let shards = indexes
+            .into_iter()
+            .map(|base| Shard {
+                base,
+                dead: HashSet::new(),
+                dead_terms: HashMap::new(),
+                delta_docs: Vec::new(),
+                delta: empty_delta.clone(),
+            })
+            .collect();
+
         ShardedIndex {
-            shards: indexes,
+            shards,
             num_docs,
+            total_len,
             avg_doc_len,
             tokenizer: self.tokenizer.clone(),
+            version: 1,
+            fingerprint: corpus_fingerprint(corpus),
         }
     }
 }
@@ -138,14 +230,87 @@ fn partition_bounds(n: usize, shards: usize) -> Vec<(usize, usize)> {
     bounds
 }
 
-/// A corpus partitioned into per-shard inverted indexes plus the global collection
+/// One shard: an immutable base segment with tombstones plus a small delta segment of
+/// documents added since the last compaction (see the
+/// [delta/compaction contract](self)).
+#[derive(Debug, Clone)]
+struct Shard {
+    base: InvertedIndex,
+    /// Tombstoned *ordinals* of the base segment. Ordinal-level (not id-level)
+    /// tombstones mean a removed-then-re-added id can never resurrect old content.
+    dead: HashSet<u32>,
+    /// Per-term count of tombstoned base documents containing the term — the exact
+    /// correction applied to the base segment's document frequencies.
+    dead_terms: HashMap<String, usize>,
+    /// The live documents of the delta segment, in insertion order.
+    delta_docs: Vec<Document>,
+    /// Index over `delta_docs`, rebuilt on each mutation of this shard.
+    delta: InvertedIndex,
+}
+
+impl Shard {
+    /// Live documents in this shard (base minus tombstones, plus delta).
+    fn live_docs(&self) -> usize {
+        self.base.num_docs() - self.dead.len() + self.delta.num_docs()
+    }
+
+    /// Exact live document frequency of a term within this shard.
+    fn doc_freq(&self, term: &str) -> usize {
+        self.base.doc_freq(term) - self.dead_terms.get(term).copied().unwrap_or(0)
+            + self.delta.doc_freq(term)
+    }
+
+    fn rebuild_delta(&mut self, builder: &IndexBuilder) {
+        let corpus =
+            Corpus::from_documents(self.delta_docs.clone()).expect("delta document ids are unique");
+        self.delta = builder.build(&corpus);
+    }
+
+    /// Whether this shard's pending state warrants folding into a new base segment.
+    fn wants_compaction(&self) -> bool {
+        self.delta_docs.len() >= DELTA_COMPACT_LIMIT || self.dead.len() * 2 > self.base.num_docs()
+    }
+
+    /// Merge live base documents and delta documents into a fresh base segment; a
+    /// pure layout change (no statistic, version or fingerprint moves).
+    fn compact(&mut self, builder: &IndexBuilder) {
+        if self.dead.is_empty() && self.delta_docs.is_empty() {
+            return;
+        }
+        let mut docs: Vec<Document> = (0..self.base.num_docs() as u32)
+            .filter(|ordinal| !self.dead.contains(ordinal))
+            .map(|ordinal| {
+                self.base
+                    .document(ordinal)
+                    .expect("ordinal in range")
+                    .clone()
+            })
+            .collect();
+        docs.append(&mut self.delta_docs);
+        let corpus = Corpus::from_documents(docs).expect("live ids are unique");
+        self.base = builder.build(&corpus);
+        self.dead.clear();
+        self.dead_terms.clear();
+        self.delta = builder.build(&Corpus::new());
+    }
+}
+
+/// A corpus partitioned into per-shard segmented indexes plus the global collection
 /// statistics needed to score each shard exactly as part of the whole.
+///
+/// The index is mutable — see the [delta/compaction contract](self) for how
+/// [`add`](Self::add)/[`remove`](Self::remove)/[`update`](Self::update) keep every
+/// score bit-identical to a from-scratch rebuild while the [`CorpusVersion`] tracks
+/// each mutation.
 #[derive(Debug, Clone)]
 pub struct ShardedIndex {
-    shards: Vec<InvertedIndex>,
+    shards: Vec<Shard>,
     num_docs: usize,
+    total_len: u64,
     avg_doc_len: f64,
     tokenizer: Tokenizer,
+    version: u64,
+    fingerprint: u64,
 }
 
 impl ShardedIndex {
@@ -154,7 +319,7 @@ impl ShardedIndex {
         self.shards.len()
     }
 
-    /// Total number of indexed documents across all shards.
+    /// Total number of live documents across all shards.
     pub fn num_docs(&self) -> usize {
         self.num_docs
     }
@@ -164,9 +329,9 @@ impl ShardedIndex {
         self.avg_doc_len
     }
 
-    /// Documents per shard, in shard order.
+    /// Live documents per shard, in shard order.
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.num_docs()).collect()
+        self.shards.iter().map(|s| s.live_docs()).collect()
     }
 
     /// The tokenizer shared by every shard (queries must use the same one).
@@ -174,9 +339,158 @@ impl ShardedIndex {
         &self.tokenizer
     }
 
-    /// Global document frequency of an analysed term (summed over shards).
+    /// Global document frequency of an analysed term over live documents.
     pub fn doc_freq(&self, term: &str) -> usize {
         self.shards.iter().map(|s| s.doc_freq(term)).sum()
+    }
+
+    /// The current corpus identity: mutation counter plus content fingerprint.
+    pub fn corpus_version(&self) -> CorpusVersion {
+        CorpusVersion {
+            version: self.version,
+            fingerprint: self.fingerprint,
+        }
+    }
+
+    /// Override the version counter (the fingerprint is content-derived and cannot be
+    /// set). Services holding one authoritative version per corpus use this to align
+    /// a freshly built index with the corpus's true mutation count.
+    pub fn set_version(&mut self, version: u64) {
+        self.version = version;
+    }
+
+    /// Whether a live document with this id exists.
+    pub fn contains(&self, doc_id: &str) -> bool {
+        self.locate(doc_id).is_some()
+    }
+
+    /// Add a new document. Fails with [`RetrievalError::DuplicateDocumentId`] when a
+    /// live document with the same id exists; increments the version on success.
+    pub fn add(&mut self, doc: Document) -> Result<(), RetrievalError> {
+        if self.contains(&doc.id) {
+            return Err(RetrievalError::DuplicateDocumentId(doc.id));
+        }
+        self.add_internal(doc);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Remove a live document by id, returning it. Fails with
+    /// [`RetrievalError::UnknownDocument`] when absent; increments the version on
+    /// success.
+    pub fn remove(&mut self, doc_id: &str) -> Result<Document, RetrievalError> {
+        let doc = self.remove_internal(doc_id)?;
+        self.version += 1;
+        Ok(doc)
+    }
+
+    /// Replace the live document carrying `doc.id` with `doc`, returning the previous
+    /// version. Fails with [`RetrievalError::UnknownDocument`] when absent; counts as
+    /// one mutation (the version increments once).
+    pub fn update(&mut self, doc: Document) -> Result<Document, RetrievalError> {
+        let old = self.remove_internal(&doc.id)?;
+        self.add_internal(doc);
+        self.version += 1;
+        Ok(old)
+    }
+
+    /// Compact every shard (see the [delta/compaction contract](self)). Scores,
+    /// statistics, version and fingerprint are unchanged — only the layout moves.
+    pub fn compact(&mut self) {
+        let builder = self.index_builder();
+        for shard in &mut self.shards {
+            shard.compact(&builder);
+        }
+    }
+
+    fn index_builder(&self) -> IndexBuilder {
+        IndexBuilder::default().with_tokenizer(self.tokenizer.clone())
+    }
+
+    fn recompute_avg(&mut self) {
+        self.avg_doc_len = if self.num_docs == 0 {
+            0.0
+        } else {
+            self.total_len as f64 / self.num_docs as f64
+        };
+    }
+
+    fn add_internal(&mut self, doc: Document) {
+        let len = self.tokenizer.tokenize(&doc.full_text()).len() as u64;
+        self.fingerprint = self.fingerprint.wrapping_add(document_fingerprint(&doc));
+        let target = (0..self.shards.len())
+            .min_by_key(|&s| (self.shards[s].live_docs(), s))
+            .expect("at least one shard");
+        let builder = self.index_builder();
+        let shard = &mut self.shards[target];
+        shard.delta_docs.push(doc);
+        shard.rebuild_delta(&builder);
+        self.num_docs += 1;
+        self.total_len += len;
+        self.recompute_avg();
+        if self.shards[target].wants_compaction() {
+            self.shards[target].compact(&builder);
+        }
+    }
+
+    fn remove_internal(&mut self, doc_id: &str) -> Result<Document, RetrievalError> {
+        let builder = self.index_builder();
+        for s in 0..self.shards.len() {
+            // The live copy may sit in the delta segment...
+            if let Some(pos) = self.shards[s]
+                .delta_docs
+                .iter()
+                .position(|d| d.id == doc_id)
+            {
+                let shard = &mut self.shards[s];
+                let ordinal = shard
+                    .delta
+                    .ordinal_of(doc_id)
+                    .expect("delta index mirrors delta_docs");
+                let len = u64::from(shard.delta.doc_len(ordinal));
+                let doc = shard.delta_docs.remove(pos);
+                shard.rebuild_delta(&builder);
+                self.finish_removal(&doc, len);
+                return Ok(doc);
+            }
+            // ...or in the base segment, where removal is a tombstone plus an exact
+            // correction of the per-term document frequencies it contributed to.
+            if let Some(ordinal) = self.shards[s].base.ordinal_of(doc_id) {
+                if !self.shards[s].dead.contains(&ordinal) {
+                    let shard = &mut self.shards[s];
+                    let doc = shard
+                        .base
+                        .document(ordinal)
+                        .expect("ordinal in range")
+                        .clone();
+                    let len = u64::from(shard.base.doc_len(ordinal));
+                    shard.dead.insert(ordinal);
+                    let terms: BTreeSet<String> = shard
+                        .base
+                        .tokenizer()
+                        .tokenize(&doc.full_text())
+                        .into_iter()
+                        .collect();
+                    for term in terms {
+                        *shard.dead_terms.entry(term).or_insert(0) += 1;
+                    }
+                    self.finish_removal(&doc, len);
+                    if self.shards[s].wants_compaction() {
+                        self.shards[s].compact(&builder);
+                    }
+                    return Ok(doc);
+                }
+                // Tombstoned here — the live copy (if any) lives elsewhere.
+            }
+        }
+        Err(RetrievalError::UnknownDocument(doc_id.to_string()))
+    }
+
+    fn finish_removal(&mut self, doc: &Document, len: u64) {
+        self.fingerprint = self.fingerprint.wrapping_sub(document_fingerprint(doc));
+        self.num_docs -= 1;
+        self.total_len -= len;
+        self.recompute_avg();
     }
 
     /// Global document frequencies for a whole query, parallel to `terms`.
@@ -184,7 +498,7 @@ impl ShardedIndex {
         terms.iter().map(|t| self.doc_freq(t)).collect()
     }
 
-    /// The global collection statistics every shard must be scored with. Both query
+    /// The global collection statistics every segment must be scored with. Both query
     /// paths ([`ShardedSearcher::try_search`] and
     /// [`ShardedSearcher::score_document`]) assemble their stats here, so the
     /// bit-identity contract has a single implementation to keep correct.
@@ -196,11 +510,20 @@ impl ShardedIndex {
         }
     }
 
-    /// Find the shard holding a document id, with the document's shard-local ordinal.
+    /// Find the segment holding the *live* copy of a document id, with the document's
+    /// segment-local ordinal. Tombstoned base entries never match.
     fn locate(&self, doc_id: &str) -> Option<(&InvertedIndex, u32)> {
-        self.shards
-            .iter()
-            .find_map(|shard| shard.ordinal_of(doc_id).map(|local| (shard, local)))
+        for shard in &self.shards {
+            if let Some(local) = shard.delta.ordinal_of(doc_id) {
+                return Some((&shard.delta, local));
+            }
+            if let Some(local) = shard.base.ordinal_of(doc_id) {
+                if !shard.dead.contains(&local) {
+                    return Some((&shard.base, local));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -239,6 +562,11 @@ impl ShardedSearcher {
         &self.index
     }
 
+    /// Mutable access to the underlying index, for incremental mutations.
+    pub fn index_mut(&mut self) -> &mut ShardedIndex {
+        &mut self.index
+    }
+
     /// The BM25 parameters in use.
     pub fn params(&self) -> Bm25Params {
         self.params
@@ -265,18 +593,22 @@ impl ShardedSearcher {
         let doc_freqs = self.index.doc_freqs(&terms);
         let stats = self.index.stats(&doc_freqs);
 
-        // Per-shard bounded top-k, then an exact merge of at most `shards · k`
-        // candidates under the shared rank order.
+        // Per-segment bounded top-k, then an exact merge of the candidates under the
+        // shared rank order. Tombstoned base ordinals are zeroed before selection
+        // (`select_top_k` never returns non-positive scores), so dead documents are
+        // indistinguishable from absent ones.
         let mut candidates: Vec<(f64, &str, &InvertedIndex, u32)> = Vec::new();
         for shard in &self.index.shards {
-            let scores = score_all_with(shard, &terms, self.params, &stats);
-            let id_of = |ordinal: u32| {
-                shard
-                    .doc_id(ordinal)
-                    .expect("ordinal produced by scoring must exist")
-            };
-            for (local, score) in select_top_k(&scores, k, id_of) {
-                candidates.push((score, id_of(local), shard, local));
+            let mut scores = score_all_with(&shard.base, &terms, self.params, &stats);
+            for &dead in &shard.dead {
+                if let Some(slot) = scores.get_mut(dead as usize) {
+                    *slot = 0.0;
+                }
+            }
+            self.select_into(&shard.base, &scores, k, &mut candidates);
+            if shard.delta.num_docs() > 0 {
+                let scores = score_all_with(&shard.delta, &terms, self.params, &stats);
+                self.select_into(&shard.delta, &scores, k, &mut candidates);
             }
         }
         candidates.sort_by(|a, b| rank_cmp(a.0, a.1, b.0, b.1));
@@ -300,6 +632,23 @@ impl ShardedSearcher {
             .collect())
     }
 
+    fn select_into<'a>(
+        &self,
+        segment: &'a InvertedIndex,
+        scores: &[f64],
+        k: usize,
+        candidates: &mut Vec<(f64, &'a str, &'a InvertedIndex, u32)>,
+    ) {
+        let id_of = |ordinal: u32| {
+            segment
+                .doc_id(ordinal)
+                .expect("ordinal produced by scoring must exist")
+        };
+        for (local, score) in select_top_k(scores, k, id_of) {
+            candidates.push((score, id_of(local), segment, local));
+        }
+    }
+
     /// Score a single document (by id) against a query, even if it would not rank
     /// top-k. Bit-identical to the single-index
     /// [`Searcher::score_document`](crate::searcher::Searcher::score_document).
@@ -308,13 +657,13 @@ impl ShardedSearcher {
         if terms.is_empty() {
             return Err(RetrievalError::EmptyQuery);
         }
-        let (shard, local) = self
+        let (segment, local) = self
             .index
             .locate(doc_id)
             .ok_or_else(|| RetrievalError::UnknownDocument(doc_id.to_string()))?;
         let doc_freqs = self.index.doc_freqs(&terms);
         let stats = self.index.stats(&doc_freqs);
-        let scores = score_all_with(shard, &terms, self.params, &stats);
+        let scores = score_all_with(segment, &terms, self.params, &stats);
         Ok(scores[local as usize])
     }
 }
@@ -334,6 +683,118 @@ impl Retriever for ShardedSearcher {
 
     fn num_docs(&self) -> usize {
         self.index.num_docs()
+    }
+
+    fn corpus_version(&self) -> Option<CorpusVersion> {
+        Some(self.index.corpus_version())
+    }
+}
+
+/// A thread-safe, mutable retrieval backend: a [`ShardedSearcher`] behind a `RwLock`.
+///
+/// Queries take a read lock (and so run concurrently); mutations take the write lock
+/// and apply incrementally through the [delta/compaction contract](self). A pipeline
+/// holding an `Arc<LiveSearcher>` observes every mutation on its next query — no
+/// rebuild, no re-wiring — and can read the current [`CorpusVersion`] through
+/// [`Retriever::corpus_version`] to invalidate anything it cached.
+#[derive(Debug)]
+pub struct LiveSearcher {
+    inner: RwLock<ShardedSearcher>,
+}
+
+impl LiveSearcher {
+    /// Wrap an existing searcher.
+    pub fn new(searcher: ShardedSearcher) -> Self {
+        Self {
+            inner: RwLock::new(searcher),
+        }
+    }
+
+    /// Partition, index and wrap a corpus in one step with defaults.
+    pub fn from_corpus(corpus: &Corpus, num_shards: usize) -> Self {
+        Self::new(ShardedSearcher::from_corpus(corpus, num_shards))
+    }
+
+    fn read(&self) -> RwLockReadGuard<'_, ShardedSearcher> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, ShardedSearcher> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Add a new document; returns the new corpus version. Fails with
+    /// [`RetrievalError::DuplicateDocumentId`] when the id is already live.
+    pub fn add(&self, doc: Document) -> Result<CorpusVersion, RetrievalError> {
+        let mut inner = self.write();
+        inner.index_mut().add(doc)?;
+        Ok(inner.index().corpus_version())
+    }
+
+    /// Remove a live document by id; returns it with the new corpus version. Fails
+    /// with [`RetrievalError::UnknownDocument`] when absent.
+    pub fn remove(&self, doc_id: &str) -> Result<(Document, CorpusVersion), RetrievalError> {
+        let mut inner = self.write();
+        let doc = inner.index_mut().remove(doc_id)?;
+        Ok((doc, inner.index().corpus_version()))
+    }
+
+    /// Replace the live document carrying `doc.id`; returns the previous version of
+    /// the document with the new corpus version. Fails with
+    /// [`RetrievalError::UnknownDocument`] when absent.
+    pub fn update(&self, doc: Document) -> Result<(Document, CorpusVersion), RetrievalError> {
+        let mut inner = self.write();
+        let old = inner.index_mut().update(doc)?;
+        Ok((old, inner.index().corpus_version()))
+    }
+
+    /// Update the document if its id is live, add it otherwise; one mutation either
+    /// way. Returns the new corpus version.
+    pub fn upsert(&self, doc: Document) -> Result<CorpusVersion, RetrievalError> {
+        let mut inner = self.write();
+        if inner.index().contains(&doc.id) {
+            inner.index_mut().update(doc)?;
+        } else {
+            inner.index_mut().add(doc)?;
+        }
+        Ok(inner.index().corpus_version())
+    }
+
+    /// Compact every shard (a pure layout change; the version does not move).
+    pub fn compact(&self) {
+        self.write().index_mut().compact();
+    }
+
+    /// The current corpus identity.
+    pub fn version(&self) -> CorpusVersion {
+        self.read().index().corpus_version()
+    }
+
+    /// Override the version counter (see [`ShardedIndex::set_version`]).
+    pub fn set_version(&self, version: u64) {
+        self.write().index_mut().set_version(version);
+    }
+}
+
+impl Retriever for LiveSearcher {
+    fn try_search(&self, query: &str, k: usize) -> Result<Vec<RankedSource>, RetrievalError> {
+        self.read().try_search(query, k)
+    }
+
+    fn search(&self, query: &str, k: usize) -> Vec<RankedSource> {
+        self.read().search(query, k)
+    }
+
+    fn score_document(&self, query: &str, doc_id: &str) -> Result<f64, RetrievalError> {
+        self.read().score_document(query, doc_id)
+    }
+
+    fn num_docs(&self) -> usize {
+        self.read().index().num_docs()
+    }
+
+    fn corpus_version(&self) -> Option<CorpusVersion> {
+        Some(self.read().index().corpus_version())
     }
 }
 
@@ -506,5 +967,170 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         ShardedIndexBuilder::new(0);
+    }
+
+    #[test]
+    fn mutations_match_a_fresh_rebuild() {
+        let mut index = ShardedIndexBuilder::new(3).build(&corpus());
+        index
+            .add(Document::new(
+                "doubles",
+                "Doubles",
+                "The Bryan brothers dominated doubles for a decade",
+            ))
+            .unwrap();
+        index.remove("cooking").unwrap();
+        index
+            .update(Document::new(
+                "clay",
+                "Clay courts",
+                "Rafael Nadal won a record fourteenth French Open title on clay",
+            ))
+            .unwrap();
+
+        let mut mirror = corpus();
+        mirror.push(Document::new(
+            "doubles",
+            "Doubles",
+            "The Bryan brothers dominated doubles for a decade",
+        ));
+        mirror.remove("cooking").unwrap();
+        mirror
+            .replace(Document::new(
+                "clay",
+                "Clay courts",
+                "Rafael Nadal won a record fourteenth French Open title on clay",
+            ))
+            .unwrap();
+
+        let live = ShardedSearcher::new(index.clone());
+        let rebuilt = ShardedSearcher::new(ShardedIndexBuilder::new(3).build(&mirror));
+        assert_same_hits(
+            &live.search("french open clay titles", 5),
+            &rebuilt.search("french open clay titles", 5),
+        );
+        assert_eq!(
+            live.index().avg_doc_len().to_bits(),
+            rebuilt.index().avg_doc_len().to_bits()
+        );
+        assert_eq!(
+            live.index().corpus_version().fingerprint,
+            rebuilt.index().corpus_version().fingerprint
+        );
+
+        // Compaction changes layout only.
+        index.compact();
+        let compacted = ShardedSearcher::new(index);
+        assert_same_hits(
+            &compacted.search("french open clay titles", 5),
+            &rebuilt.search("french open clay titles", 5),
+        );
+    }
+
+    #[test]
+    fn duplicate_add_and_unknown_removal_are_typed_errors() {
+        let mut index = ShardedIndexBuilder::new(2).build(&corpus());
+        assert!(matches!(
+            index.add(Document::new("slams", "", "dup")),
+            Err(RetrievalError::DuplicateDocumentId(_))
+        ));
+        assert!(matches!(
+            index.remove("ghost"),
+            Err(RetrievalError::UnknownDocument(_))
+        ));
+        assert!(matches!(
+            index.update(Document::new("ghost", "", "x")),
+            Err(RetrievalError::UnknownDocument(_))
+        ));
+        // Failed mutations never move the version.
+        assert_eq!(index.corpus_version().version, 1);
+    }
+
+    #[test]
+    fn version_counts_mutations_and_compaction_is_free() {
+        let mut index = ShardedIndexBuilder::new(2).build(&corpus());
+        assert_eq!(index.corpus_version().version, 1);
+        index
+            .add(Document::new("extra", "", "one more doc"))
+            .unwrap();
+        assert_eq!(index.corpus_version().version, 2);
+        index.remove("extra").unwrap();
+        assert_eq!(index.corpus_version().version, 3);
+        index
+            .update(Document::new("wins", "Match wins", "Federer match wins"))
+            .unwrap();
+        assert_eq!(index.corpus_version().version, 4);
+        let before = index.corpus_version();
+        index.compact();
+        assert_eq!(index.corpus_version(), before);
+    }
+
+    #[test]
+    fn removed_then_readded_id_serves_the_new_content() {
+        let mut index = ShardedIndexBuilder::new(2).build(&corpus());
+        index.remove("weeks").unwrap();
+        index
+            .add(Document::new(
+                "weeks",
+                "Weeks",
+                "A completely different text",
+            ))
+            .unwrap();
+        let searcher = ShardedSearcher::new(index);
+        let score = searcher
+            .score_document("completely different", "weeks")
+            .unwrap();
+        assert!(score > 0.0);
+        let hits = searcher.search("djokovic ranked number one", 5);
+        assert!(hits.iter().all(|h| h.doc_id != "weeks"));
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let forward = corpus_fingerprint(&corpus());
+        let mut reversed = Corpus::new();
+        for doc in corpus().documents().iter().rev() {
+            reversed.push(doc.clone());
+        }
+        assert_eq!(forward, corpus_fingerprint(&reversed));
+        assert_ne!(forward, corpus_fingerprint(&Corpus::new()));
+    }
+
+    #[test]
+    fn live_searcher_mutates_through_shared_references() {
+        let live = std::sync::Arc::new(LiveSearcher::from_corpus(&corpus(), 3));
+        let retriever: Box<dyn Retriever> = Box::new(std::sync::Arc::clone(&live));
+        assert_eq!(retriever.corpus_version().unwrap().version, 1);
+        assert_eq!(retriever.num_docs(), 5);
+
+        let version = live
+            .add(Document::new("extra", "", "brand new document text"))
+            .unwrap();
+        assert_eq!(version.version, 2);
+        // The pipeline-side handle observes the mutation immediately.
+        assert_eq!(retriever.num_docs(), 6);
+        assert_eq!(retriever.corpus_version().unwrap().version, 2);
+        assert!(retriever.score_document("brand new", "extra").unwrap() > 0.0);
+
+        let (doc, version) = live.remove("extra").unwrap();
+        assert_eq!(doc.id, "extra");
+        assert_eq!(version.version, 3);
+        assert!(matches!(
+            retriever.score_document("brand new", "extra"),
+            Err(RetrievalError::UnknownDocument(_))
+        ));
+
+        live.upsert(Document::new("upserted", "", "inserted fresh"))
+            .unwrap();
+        let (old, _) = live
+            .update(Document::new("upserted", "", "replaced body"))
+            .unwrap();
+        assert_eq!(old.text, "inserted fresh");
+        live.set_version(41);
+        live.upsert(Document::new("upserted", "", "replaced again"))
+            .unwrap();
+        assert_eq!(live.version().version, 42);
+        live.compact();
+        assert_eq!(live.version().version, 42);
     }
 }

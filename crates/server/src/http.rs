@@ -4,8 +4,11 @@
 //! it — this module implements the protocol subset the explanation server
 //! needs from scratch over [`std::io`]: request-line + header parsing with
 //! hard size limits, `Content-Length`-delimited bodies, percent-decoding for
-//! query strings, and a compact response writer (`Connection: close`, one
-//! request per connection).
+//! query strings, and a compact response writer. Connection persistence
+//! follows HTTP/1.1 semantics: requests default to keep-alive (HTTP/1.0 to
+//! close) and a `Connection` header overrides either way; the parsed
+//! [`HttpRequest::keep_alive`] flag carries the decision and
+//! [`HttpResponse::write_to_with_connection`] echoes it back.
 //!
 //! ## Robustness contract
 //!
@@ -56,6 +59,10 @@ pub struct HttpRequest {
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open after this
+    /// request: the HTTP/1.1 default (`true`; HTTP/1.0 defaults to `false`)
+    /// unless a `Connection` header token says otherwise.
+    pub keep_alive: bool,
 }
 
 impl HttpRequest {
@@ -149,10 +156,22 @@ fn read_limited_line<R: BufRead>(
                 }
             }
             Err(err) => {
+                // A read timeout before the first byte of a request is an
+                // idle keep-alive connection going quiet — close it silently,
+                // exactly like a clean EOF. Mid-line timeouts (and every
+                // other I/O failure) stay hard 400s.
+                if line.is_empty()
+                    && matches!(
+                        err.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    )
+                {
+                    return Ok(None);
+                }
                 return Err(HttpError::new(
                     400,
                     format!("read failed mid-request: {err}"),
-                ))
+                ));
             }
         }
     }
@@ -284,12 +303,28 @@ pub fn parse_request_with_deadline<R: BufRead>(
         headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
 
+    // Connection persistence: HTTP/1.1 defaults to keep-alive, HTTP/1.0 to
+    // close; any `Connection` header token ("close", "keep-alive" — possibly
+    // in a comma list, any case) overrides the default.
+    let mut keep_alive = version == "HTTP/1.1";
+    if let Some((_, connection)) = headers.iter().find(|(name, _)| name == "connection") {
+        for token in connection.split(',') {
+            let token = token.trim();
+            if token.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if token.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+
     let request = HttpRequest {
         method: method.to_ascii_uppercase(),
         path,
         query,
         headers,
         body: Vec::new(),
+        keep_alive,
     };
 
     // Body: Content-Length-delimited only.
@@ -339,6 +374,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         411 => "Length Required",
         413 => "Content Too Large",
         414 => "URI Too Long",
@@ -397,15 +433,29 @@ impl HttpResponse {
         self
     }
 
-    /// Serialise the response (status line, headers, body) onto `writer`.
+    /// Serialise the response (status line, headers, body) onto `writer`,
+    /// closing the connection (`Connection: close`).
     pub fn write_to<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        self.write_to_with_connection(writer, false)
+    }
+
+    /// Serialise the response, advertising whether the server will keep the
+    /// connection open for another request. Responses are always
+    /// `Content-Length`-framed, so a keep-alive client knows exactly where
+    /// each response ends.
+    pub fn write_to_with_connection<W: Write>(
+        &self,
+        writer: &mut W,
+        keep_alive: bool,
+    ) -> std::io::Result<()> {
         write!(
             writer,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason_phrase(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
         )?;
         if let Some(allow) = self.allow {
             write!(writer, "Allow: {allow}\r\n")?;
@@ -517,8 +567,92 @@ mod tests {
             .write_to(&mut out)
             .unwrap();
         let text = String::from_utf8(out).unwrap();
-        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"), "{text}");
+        assert!(
+            text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"),
+            "{text}"
+        );
         assert!(text.contains("Allow: GET\r\n"), "{text}");
+    }
+
+    #[test]
+    fn keep_alive_follows_version_defaults_and_connection_overrides() {
+        let cases: &[(&[u8], bool)] = &[
+            (b"GET / HTTP/1.1\r\n\r\n", true),
+            (b"GET / HTTP/1.0\r\n\r\n", false),
+            (b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n", false),
+            (b"GET / HTTP/1.1\r\nConnection: foo, close\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\nConnection: Keep-Alive, x\r\n\r\n", true),
+        ];
+        for (raw, expected) in cases {
+            let request = parse(raw).unwrap().unwrap();
+            assert_eq!(
+                request.keep_alive,
+                *expected,
+                "{:?}",
+                std::str::from_utf8(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn an_idle_timeout_before_any_byte_is_a_silent_close() {
+        // A reader that times out immediately models a keep-alive connection
+        // going quiet between requests: not an error, just done.
+        struct IdleReader;
+        impl std::io::Read for IdleReader {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "timed out",
+                ))
+            }
+        }
+        let result = parse_request(&mut BufReader::new(IdleReader)).unwrap();
+        assert_eq!(result, None);
+
+        // A timeout *mid-request* is still a hard 400: bytes were committed.
+        struct TruncatingReader(&'static [u8]);
+        impl std::io::Read for TruncatingReader {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0.is_empty() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WouldBlock,
+                        "timed out",
+                    ));
+                }
+                buf[0] = self.0[0];
+                self.0 = &self.0[1..];
+                Ok(1)
+            }
+        }
+        let err = parse_request(&mut BufReader::new(TruncatingReader(b"GET /sce")))
+            .expect_err("mid-request timeout must reject");
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn conflict_status_has_a_reason_phrase() {
+        assert_eq!(reason_phrase(409), "Conflict");
+    }
+
+    #[test]
+    fn keep_alive_responses_advertise_the_connection_state() {
+        let mut out = Vec::new();
+        HttpResponse::ok("application/json", "{}")
+            .write_to_with_connection(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 2\r\n"), "{text}");
+
+        let mut out = Vec::new();
+        HttpResponse::ok("application/json", "{}")
+            .write_to_with_connection(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: close\r\n"), "{text}");
     }
 
     #[test]

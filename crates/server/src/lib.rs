@@ -18,19 +18,47 @@
 //! | `GET /report?scenario=S[&format=md\|json\|html][&shards=N]` | one rendered explanation report (default `json`); the `html` format is the self-contained interactive page |
 //! | `POST /ask`         | JSON body `{"scenario": S, "query": Q[, "k": N]}` — one RAG round trip over the scenario's corpus |
 //! | `POST /diff`        | JSON body `{"a": <report>, "b": <report>}` (two schema-v1 report documents) — their [`rage_report::ReportDiff`] |
-//! | `GET /stats`        | JSON counters: report cache, ask batching, requests  |
+//! | `GET /diff?scenario=S&from=N&to=N[&shards=N]` | diff the scenario's reports at two corpus versions (the `to` side may be the live version; older sides come from the service's bounded version cache) |
+//! | `POST /corpus/docs` | JSON body `{"scenario": S, "doc": {"id", "text"[, "title"][, "fields"]}[, "mode": "add"\|"update"\|"upsert"]}` — mutate the scenario's live corpus; answers the new corpus provenance |
+//! | `DELETE /corpus/docs/{id}?scenario=S` | remove one document from the scenario's live corpus |
+//! | `GET /stats`        | JSON counters: report cache, ask batching, requests, per-scenario corpus versions |
 //!
 //! Errors come back as `{"error":{"status":N,"message":...}}` with the status
 //! mirrored in the HTTP status line. Caller mistakes are always 4xx — unknown
 //! scenarios 404, malformed bodies/parameters 400 (including `k = 0`, which
 //! the engine reports as an invalid argument, *not* as an empty retrieval,
 //! and `shards` beyond [`rage_report::MAX_SHARDS`], which is rejected before
-//! it can size any allocation or thread pool), a known path with the wrong
-//! method 405 with an `Allow` header, and a request that trickles past the
-//! configured wall-clock deadline 408. Malformed HTTP never panics a worker
-//! (see [`http`] for the limits), and if a handler *does* panic the worker
-//! catches the unwind and answers 500 — the fixed-size pool never loses a
-//! thread to hostile input.
+//! it can size any allocation or thread pool), adding a document whose id is
+//! already live 409, a known path with the wrong method 405 with an `Allow`
+//! header, and a request that trickles past the configured wall-clock
+//! deadline 408. Malformed HTTP never panics a worker (see [`http`] for the
+//! limits), and if a handler *does* panic the worker catches the unwind and
+//! answers 500 — the fixed-size pool never loses a thread to hostile input.
+//!
+//! ## Live corpora and versions
+//!
+//! `POST /corpus/docs` and `DELETE /corpus/docs/{id}` mutate a scenario's
+//! corpus *in place* through [`Service`]'s incremental index: every mutation
+//! bumps the scenario's `corpus_version`, invalidates its cached reports (the
+//! report cache is keyed on the version) and clears its model prefix cache,
+//! so a later `GET /report` is regenerated against the new corpus and stamps
+//! the version + corpus fingerprint into the report's `"corpus"` provenance
+//! member. `GET /stats` lists every materialised corpus's current version,
+//! and `GET /diff` turns two versions of one scenario into a structured
+//! report diff.
+//!
+//! ## Connection persistence
+//!
+//! Connections are HTTP/1.1 persistent: a worker keeps answering requests on
+//! one connection until the client asks for `Connection: close` (or is
+//! HTTP/1.0 without `keep-alive`), the connection idles past
+//! [`ServerConfig::keep_alive_timeout`], or
+//! [`ServerConfig::max_requests_per_connection`] requests have been served —
+//! the cap bounds how long one client can pin a worker of the fixed pool.
+//! Responses are always `Content-Length`-framed and advertise the decision in
+//! their `Connection` header. Parse failures and handler panics close the
+//! connection (framing can no longer be trusted); an idle timeout between
+//! requests closes it silently.
 //!
 //! ## Cross-request batching
 //!
@@ -65,10 +93,10 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use rage_core::RagResponse;
+use rage_core::{CorpusProvenance, RagResponse};
 use rage_json::JsonValue;
 use rage_report::service::ErrorKind;
-use rage_report::{diff, from_json, ReportFormat, Service, ServiceError};
+use rage_report::{diff, from_json, Document, ReportFormat, Service, ServiceError};
 
 use http::{parse_request_with_deadline, HttpRequest, HttpResponse};
 
@@ -92,6 +120,15 @@ pub struct ServerConfig {
     /// immediately; coalescing then only happens while a batch is already in
     /// flight).
     pub ask_batch_window: Duration,
+    /// How long a persistent connection may sit idle between requests before
+    /// the server closes it. Only applies after the first request (the first
+    /// read is bounded by `read_timeout`); the idle close is silent, not an
+    /// error response.
+    pub keep_alive_timeout: Duration,
+    /// Upper bound on requests served over one persistent connection before
+    /// the server closes it — with a fixed worker pool, the cap bounds how
+    /// long one client can pin a worker.
+    pub max_requests_per_connection: usize,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +138,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             request_deadline: Duration::from_secs(30),
             ask_batch_window: Duration::from_millis(2),
+            keep_alive_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 100,
         }
     }
 }
@@ -110,6 +149,7 @@ fn status_for(error: &ServiceError) -> u16 {
     match error.kind() {
         ErrorKind::NotFound | ErrorKind::NoResults => 404,
         ErrorKind::BadRequest => 400,
+        ErrorKind::Conflict => 409,
         ErrorKind::Internal => 500,
     }
 }
@@ -329,8 +369,7 @@ impl Server {
                 let service = Arc::clone(&service);
                 let batcher = Arc::clone(&batcher);
                 let requests_served = Arc::clone(&requests_served);
-                let read_timeout = config.read_timeout;
-                let request_deadline = config.request_deadline;
+                let config = config.clone();
                 std::thread::Builder::new()
                     .name(format!("rage-server-worker-{i}"))
                     .spawn(move || loop {
@@ -340,14 +379,7 @@ impl Server {
                         };
                         let Ok(stream) = stream else { return };
                         requests_served.fetch_add(1, Ordering::Relaxed);
-                        handle_connection(
-                            stream,
-                            &service,
-                            &batcher,
-                            &requests_served,
-                            read_timeout,
-                            request_deadline,
-                        );
+                        handle_connection(stream, &service, &batcher, &requests_served, &config);
                     })
                     .expect("failed to spawn server worker")
             })
@@ -434,7 +466,16 @@ impl Drop for Server {
     }
 }
 
-/// Parse, route and answer one connection (one request per connection).
+/// Parse, route and answer requests on one connection until it closes.
+///
+/// HTTP/1.1 persistence: the loop keeps serving as long as the client asked
+/// to keep the connection alive, fewer than
+/// [`ServerConfig::max_requests_per_connection`] requests have been answered,
+/// and the connection has not idled past
+/// [`ServerConfig::keep_alive_timeout`]. Each request gets its own wall-clock
+/// deadline. Parse failures and panics answer with `Connection: close` and
+/// drop the connection — after either, the request framing can no longer be
+/// trusted.
 ///
 /// The whole parse-and-route path runs under `catch_unwind`: the worker pool
 /// is fixed, so a panicking handler must cost the peer a 500, never the pool
@@ -445,29 +486,53 @@ fn handle_connection(
     service: &Service,
     batcher: &AskBatcher,
     requests_served: &AtomicU64,
-    read_timeout: Duration,
-    request_deadline: Duration,
+    config: &ServerConfig,
 ) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
-    let deadline = Instant::now() + request_deadline;
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
     });
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        match parse_request_with_deadline(&mut reader, Some(deadline)) {
-            Ok(Some(request)) => Some(route(&request, service, batcher, requests_served)),
-            Ok(None) => None, // bare connect/disconnect, nothing to answer
-            Err(err) => Some(err.into()),
-        }
-    }));
-    let response = match outcome {
-        Ok(Some(response)) => response,
-        Ok(None) => return,
-        Err(_) => HttpResponse::error(500, "internal error while handling the request"),
-    };
     let mut writer = BufWriter::new(stream);
-    let _ = response.write_to(&mut writer);
+    let mut served = 0usize;
+    loop {
+        if served > 0 {
+            // Between requests the only thing worth waiting for is the next
+            // request line; an idle peer gets the (shorter) keep-alive
+            // timeout. The clones share one socket, so either handle works.
+            let _ = writer
+                .get_ref()
+                .set_read_timeout(Some(config.keep_alive_timeout));
+        }
+        let deadline = Instant::now() + config.request_deadline;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            match parse_request_with_deadline(&mut reader, Some(deadline)) {
+                Ok(Some(request)) => {
+                    let response = route(&request, service, batcher, requests_served);
+                    Some((response, request.keep_alive))
+                }
+                Ok(None) => None, // clean EOF or idle timeout, nothing to answer
+                Err(err) => Some((err.into(), false)),
+            }
+        }));
+        let (response, client_keep_alive) = match outcome {
+            Ok(Some(answered)) => answered,
+            Ok(None) => return,
+            Err(_) => (
+                HttpResponse::error(500, "internal error while handling the request"),
+                false,
+            ),
+        };
+        served += 1;
+        let keep_alive = client_keep_alive && served < config.max_requests_per_connection.max(1);
+        if response
+            .write_to_with_connection(&mut writer, keep_alive)
+            .is_err()
+            || !keep_alive
+        {
+            return;
+        }
+    }
 }
 
 /// Dispatch one parsed request to its handler.
@@ -483,13 +548,21 @@ fn route(
         ("GET", "/report") => report_endpoint(request, service),
         ("POST", "/ask") => ask_endpoint(request, batcher),
         ("POST", "/diff") => diff_endpoint(request),
+        ("GET", "/diff") => diff_versions_endpoint(request, service),
+        ("POST", "/corpus/docs") => corpus_mutate_endpoint(request, service),
+        ("DELETE", path) if path.starts_with("/corpus/docs/") => {
+            corpus_delete_endpoint(request, service)
+        }
         ("GET", "/stats") => stats_json(service, batcher, requests_served),
         // Known path, wrong method: 405 naming the method that works there —
         // not 404, which would misreport an existing endpoint as absent.
         (_, "/" | "/scenarios" | "/report" | "/stats") => method_not_allowed("GET"),
-        (_, "/ask" | "/diff") => method_not_allowed("POST"),
-        ("GET" | "POST", _) => HttpResponse::error(404, "no such endpoint"),
-        _ => HttpResponse::error(405, "method not allowed (GET and POST only)"),
+        (_, "/ask") => method_not_allowed("POST"),
+        (_, "/diff") => method_not_allowed("GET, POST"),
+        (_, "/corpus/docs") => method_not_allowed("POST"),
+        (_, path) if path.starts_with("/corpus/docs/") => method_not_allowed("DELETE"),
+        ("GET" | "POST" | "DELETE", _) => HttpResponse::error(404, "no such endpoint"),
+        _ => HttpResponse::error(405, "method not allowed (GET, POST and DELETE only)"),
     }
 }
 
@@ -674,6 +747,194 @@ fn diff_endpoint(request: &HttpRequest) -> HttpResponse {
     HttpResponse::ok("application/json", doc.render())
 }
 
+/// Corpus provenance as the JSON shape every corpus-aware response shares.
+/// The fingerprint is rendered as 16 hex digits: a `u64` does not survive the
+/// round trip through JSON's `f64` numbers.
+fn provenance_json(provenance: &CorpusProvenance) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "version".into(),
+            JsonValue::Number(provenance.version as f64),
+        ),
+        (
+            "fingerprint".into(),
+            JsonValue::String(format!("{:016x}", provenance.fingerprint)),
+        ),
+        (
+            "num_docs".into(),
+            JsonValue::Number(provenance.num_docs as f64),
+        ),
+    ])
+}
+
+/// Decode the `"doc"` member of a corpus-mutation body into a [`Document`].
+fn document_from_json(value: &JsonValue) -> Result<Document, HttpResponse> {
+    let Some(id) = value.get("id").and_then(JsonValue::as_str) else {
+        return Err(HttpResponse::error(
+            400,
+            "\"doc\" must have a string \"id\" member",
+        ));
+    };
+    let Some(text) = value.get("text").and_then(JsonValue::as_str) else {
+        return Err(HttpResponse::error(
+            400,
+            "\"doc\" must have a string \"text\" member",
+        ));
+    };
+    let title = match value.get("title") {
+        None => "",
+        Some(raw) => match raw.as_str() {
+            Some(title) => title,
+            None => {
+                return Err(HttpResponse::error(400, "\"title\" must be a string"));
+            }
+        },
+    };
+    let mut doc = Document::new(id, title, text);
+    if let Some(fields) = value.get("fields") {
+        let JsonValue::Object(members) = fields else {
+            return Err(HttpResponse::error(
+                400,
+                "\"fields\" must be an object of string values",
+            ));
+        };
+        for (key, field) in members {
+            let Some(field) = field.as_str() else {
+                return Err(HttpResponse::error(
+                    400,
+                    "\"fields\" must be an object of string values",
+                ));
+            };
+            doc = doc.with_field(key.as_str(), field);
+        }
+    }
+    Ok(doc)
+}
+
+/// `POST /corpus/docs` — body
+/// `{"scenario": S, "doc": {...}[, "mode": "add"|"update"|"upsert"]}`.
+fn corpus_mutate_endpoint(request: &HttpRequest, service: &Service) -> HttpResponse {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return HttpResponse::error(400, "request body is not valid UTF-8"),
+    };
+    let value = match JsonValue::parse(body) {
+        Ok(value) => value,
+        Err(err) => return HttpResponse::error(400, &format!("invalid JSON body: {err}")),
+    };
+    let Some(scenario) = value.get("scenario").and_then(JsonValue::as_str) else {
+        return HttpResponse::error(400, "body must have a string \"scenario\" member");
+    };
+    let mode = match value.get("mode") {
+        None => "add",
+        Some(raw) => match raw.as_str() {
+            Some(mode @ ("add" | "update" | "upsert")) => mode,
+            _ => {
+                return HttpResponse::error(
+                    400,
+                    "\"mode\" must be \"add\", \"update\" or \"upsert\"",
+                )
+            }
+        },
+    };
+    let Some(doc_value) = value.get("doc") else {
+        return HttpResponse::error(400, "body must have a \"doc\" member");
+    };
+    let doc = match document_from_json(doc_value) {
+        Ok(doc) => doc,
+        Err(response) => return response,
+    };
+    let doc_id = doc.id.clone();
+    let result = match mode {
+        "add" => service.add_document(scenario, doc),
+        "update" => service.update_document(scenario, doc),
+        _ => service.upsert_document(scenario, doc),
+    };
+    match result {
+        Ok(provenance) => {
+            let doc = JsonValue::Object(vec![
+                ("scenario".into(), JsonValue::String(scenario.to_string())),
+                ("mode".into(), JsonValue::String(mode.to_string())),
+                ("doc_id".into(), JsonValue::String(doc_id)),
+                ("corpus".into(), provenance_json(&provenance)),
+            ]);
+            HttpResponse::ok("application/json", doc.render())
+        }
+        Err(err) => service_error_response(&err),
+    }
+}
+
+/// `DELETE /corpus/docs/{id}?scenario=S`.
+fn corpus_delete_endpoint(request: &HttpRequest, service: &Service) -> HttpResponse {
+    let id = request
+        .path
+        .strip_prefix("/corpus/docs/")
+        .unwrap_or_default();
+    if id.is_empty() {
+        return HttpResponse::error(400, "missing document id in path");
+    }
+    let Some(scenario) = request.query_param("scenario") else {
+        return HttpResponse::error(400, "missing required query parameter: scenario");
+    };
+    match service.remove_document(scenario, id) {
+        Ok(provenance) => {
+            let doc = JsonValue::Object(vec![
+                ("scenario".into(), JsonValue::String(scenario.to_string())),
+                ("removed".into(), JsonValue::String(id.to_string())),
+                ("corpus".into(), provenance_json(&provenance)),
+            ]);
+            HttpResponse::ok("application/json", doc.render())
+        }
+        Err(err) => service_error_response(&err),
+    }
+}
+
+/// `GET /diff?scenario=S&from=N&to=N[&shards=N]` — the report diff between
+/// two corpus versions of one scenario.
+fn diff_versions_endpoint(request: &HttpRequest, service: &Service) -> HttpResponse {
+    let Some(scenario) = request.query_param("scenario") else {
+        return HttpResponse::error(400, "missing required query parameter: scenario");
+    };
+    let mut versions = [0u64; 2];
+    for (slot, key) in versions.iter_mut().zip(["from", "to"]) {
+        let Some(raw) = request.query_param(key) else {
+            return HttpResponse::error(
+                400,
+                &format!("missing required query parameter: {key} (a corpus version)"),
+            );
+        };
+        match raw.parse::<u64>() {
+            Ok(version) => *slot = version,
+            Err(_) => {
+                return HttpResponse::error(
+                    400,
+                    &format!("{key} must be a corpus version (a positive integer)"),
+                )
+            }
+        }
+    }
+    let shards = match request.query_param("shards") {
+        None => None,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => return HttpResponse::error(400, "shards must be a non-negative integer"),
+        },
+    };
+    match service.diff_reports(scenario, versions[0], versions[1], shards) {
+        Ok(report_diff) => {
+            let doc = JsonValue::Object(vec![
+                ("scenario".into(), JsonValue::String(scenario.to_string())),
+                ("from".into(), JsonValue::Number(versions[0] as f64)),
+                ("to".into(), JsonValue::Number(versions[1] as f64)),
+                ("identical".into(), JsonValue::Bool(report_diff.is_empty())),
+                ("diff".into(), report_diff.to_json()),
+            ]);
+            HttpResponse::ok("application/json", doc.render())
+        }
+        Err(err) => service_error_response(&err),
+    }
+}
+
 /// `GET /stats` — service + batcher counters.
 fn stats_json(
     service: &Service,
@@ -707,6 +968,16 @@ fn stats_json(
                     JsonValue::Number(batch.max_batch as f64),
                 ),
             ]),
+        ),
+        (
+            "corpora".into(),
+            JsonValue::Object(
+                service
+                    .corpus_versions()
+                    .into_iter()
+                    .map(|(name, provenance)| (name, provenance_json(&provenance)))
+                    .collect(),
+            ),
         ),
     ]);
     HttpResponse::ok("application/json", doc.render())

@@ -3,12 +3,13 @@
 //! `scenarios::report_for` path the golden snapshots pin, and direct
 //! [`Service`] calls for `/ask`.
 
-use std::io::{Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
 use rage_core::explanation::ReportConfig;
+use rage_core::RageReport;
 use rage_json::JsonValue;
 use rage_report::scenarios::{report_for, scenario_by_name, scenario_names};
 use rage_report::{to_json, Service, MAX_SHARDS};
@@ -17,14 +18,19 @@ use rage_server::{Server, ServerConfig};
 /// A split HTTP response: status code, header block, body bytes.
 type Response = (u16, String, Vec<u8>);
 
-/// One raw HTTP/1.1 exchange: write `request` bytes, read until the server
-/// closes (it always sends `Connection: close`), split the response.
+/// One raw HTTP/1.1 exchange on a fresh connection: write `request` bytes,
+/// shut the write side down (so the server sees EOF instead of waiting out
+/// the keep-alive idle timeout), read until the server closes, split the
+/// response. Persistent-connection behaviour has its own framed-read tests.
 fn exchange(server: &Server, request: &[u8]) -> Response {
     let mut stream = TcpStream::connect(server.addr()).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(30)))
         .unwrap();
     stream.write_all(request).expect("write request");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw).expect("read response");
     let split = raw
@@ -40,6 +46,43 @@ fn exchange(server: &Server, request: &[u8]) -> Response {
         .parse()
         .expect("status code is numeric");
     (status, head, body)
+}
+
+/// Read exactly one `Content-Length`-framed response off a persistent
+/// connection, leaving the connection usable for the next request.
+fn read_framed(reader: &mut BufReader<TcpStream>) -> Response {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        reader.read_exact(&mut byte).expect("read header byte");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head[..head.len() - 4].to_vec()).expect("headers are UTF-8");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line has a code")
+        .parse()
+        .expect("status code is numeric");
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().expect("numeric Content-Length"))
+        })
+        .expect("response has a Content-Length");
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("read framed body");
+    (status, head, body)
+}
+
+/// The provenance the service stamps into every served report of `name` at
+/// its current corpus version — the library oracle (`report_for`) leaves the
+/// member empty, so byte-identity tests add it before comparing.
+fn stamp_provenance(report: &mut RageReport, name: &str) {
+    let service = Service::new();
+    report.corpus = Some(service.corpus_provenance(name).expect(name));
 }
 
 fn get(server: &Server, target: &str) -> Response {
@@ -82,8 +125,9 @@ fn served_report_json_is_byte_identical_to_the_cli_path_for_every_scenario() {
         assert_eq!(status, 200, "{name}");
 
         let scenario = scenario_by_name(name).expect(name);
-        let oracle =
-            to_json(&report_for(&scenario, &ReportConfig::default()).expect(name)).render();
+        let mut report = report_for(&scenario, &ReportConfig::default()).expect(name);
+        stamp_provenance(&mut report, name);
+        let oracle = to_json(&report).render();
         assert_eq!(
             body,
             oracle.as_bytes(),
@@ -96,7 +140,8 @@ fn served_report_json_is_byte_identical_to_the_cli_path_for_every_scenario() {
 fn report_formats_and_shards_serve_the_library_renderings() {
     let server = start_server();
     let scenario = scenario_by_name("us_open").unwrap();
-    let report = report_for(&scenario, &ReportConfig::default()).unwrap();
+    let mut report = report_for(&scenario, &ReportConfig::default()).unwrap();
+    stamp_provenance(&mut report, "us_open");
 
     let (status, head, body) = get(&server, "/report?scenario=us_open&format=md");
     assert_eq!(status, 200);
@@ -404,6 +449,237 @@ fn caller_mistakes_map_to_4xx() {
         !text.contains("empty"),
         "k=0 must not read as empty-context: {text}"
     );
+}
+
+/// HTTP/1.1 keep-alive: one connection serves many requests, `Connection:
+/// close` and the per-connection request cap end it, and an idle connection
+/// is closed silently after the keep-alive timeout.
+#[test]
+fn persistent_connections_reuse_one_socket_until_close_or_cap() {
+    let server = start_server();
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for _ in 0..3 {
+        (&stream)
+            .write_all(b"GET /scenarios HTTP/1.1\r\nHost: t\r\n\r\n")
+            .unwrap();
+        let (status, head, body) = read_framed(&mut reader);
+        assert_eq!(status, 200);
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+        assert!(!body.is_empty());
+    }
+    // `Connection: close` is honoured: the response says close, then EOF.
+    (&stream)
+        .write_all(b"GET /scenarios HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, head, _) = read_framed(&mut reader);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+    // All four requests rode one accepted connection.
+    assert_eq!(server.connections_accepted(), 1);
+
+    let capped = Server::start(
+        "127.0.0.1:0",
+        Arc::new(Service::new()),
+        ServerConfig {
+            threads: 2,
+            max_requests_per_connection: 2,
+            keep_alive_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+
+    // The per-connection request cap closes the connection at the limit.
+    let stream = TcpStream::connect(capped.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    (&stream)
+        .write_all(b"GET /scenarios HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (_, head, _) = read_framed(&mut reader);
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+    (&stream)
+        .write_all(b"GET /scenarios HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (_, head, _) = read_framed(&mut reader);
+    assert!(head.contains("Connection: close"), "{head}");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    // An idle keep-alive connection is closed silently after the timeout —
+    // no 4xx bytes, just EOF.
+    let stream = TcpStream::connect(capped.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    (&stream)
+        .write_all(b"GET /scenarios HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let (_, head, _) = read_framed(&mut reader);
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(
+        rest.is_empty(),
+        "idle close must not write an error response: {:?}",
+        String::from_utf8_lossy(&rest)
+    );
+}
+
+/// The ISSUE acceptance criterion: mutating a corpus over HTTP invalidates
+/// the cached `/report` (old bytes ≠ new bytes) with the version visible in
+/// `/stats` and in the report's provenance — plus the typed 409/404 edges of
+/// the mutation API and `GET /diff` across versions.
+#[test]
+fn corpus_mutation_over_http_invalidates_the_served_report() {
+    let server = start_server();
+    let (status, _, before) = get(&server, "/report?scenario=us_open&format=json");
+    assert_eq!(status, 200);
+    let before_doc = JsonValue::parse(std::str::from_utf8(&before).unwrap()).unwrap();
+    let version_of = |doc: &JsonValue| {
+        doc.get("corpus")
+            .and_then(|c| c.get("version"))
+            .and_then(JsonValue::as_usize)
+    };
+    assert_eq!(version_of(&before_doc), Some(1));
+
+    let (_, _, stats) = get(&server, "/stats");
+    let stats_doc = JsonValue::parse(std::str::from_utf8(&stats).unwrap()).unwrap();
+    let us_open_stats = stats_doc
+        .get("corpora")
+        .and_then(|c| c.get("us_open"))
+        .expect("us_open in /stats corpora");
+    assert_eq!(
+        us_open_stats.get("version").and_then(JsonValue::as_usize),
+        Some(1)
+    );
+    let fingerprint_v1 = us_open_stats
+        .get("fingerprint")
+        .and_then(JsonValue::as_str)
+        .expect("fingerprint in /stats")
+        .to_string();
+
+    // Add a 2024 champion: the retrieval pool and the answer both change.
+    let add_body = r#"{"scenario": "us_open", "doc": {"id": "us-open-2024", "title": "US Open 2024", "text": "Aryna Sabalenka won the 2024 US Open women's singles championship, defeating Jessica Pegula in the final.", "fields": {"year": "2024", "champion": "Aryna Sabalenka"}}}"#;
+    let (status, _, response) = post(&server, "/corpus/docs", add_body);
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&response));
+    let mutation_doc = JsonValue::parse(std::str::from_utf8(&response).unwrap()).unwrap();
+    assert_eq!(
+        mutation_doc.get("mode").and_then(JsonValue::as_str),
+        Some("add")
+    );
+    assert_eq!(
+        mutation_doc.get("doc_id").and_then(JsonValue::as_str),
+        Some("us-open-2024")
+    );
+    assert_eq!(version_of(&mutation_doc), Some(2));
+
+    // Adding the same id again is a typed conflict, not a worker panic.
+    let (status, _, body) = post(&server, "/corpus/docs", add_body);
+    assert_eq!(status, 409, "{}", String::from_utf8_lossy(&body));
+    let conflict = JsonValue::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        conflict
+            .get("error")
+            .and_then(|e| e.get("status"))
+            .and_then(JsonValue::as_usize),
+        Some(409)
+    );
+
+    // The cached report was invalidated: new bytes, version-2 provenance.
+    let (status, _, after) = get(&server, "/report?scenario=us_open&format=json");
+    assert_eq!(status, 200);
+    assert_ne!(before, after, "stale report bytes served after a mutation");
+    let after_doc = JsonValue::parse(std::str::from_utf8(&after).unwrap()).unwrap();
+    assert_eq!(version_of(&after_doc), Some(2));
+
+    // /stats reflects the new version and a moved fingerprint.
+    let (_, _, stats) = get(&server, "/stats");
+    let stats_doc = JsonValue::parse(std::str::from_utf8(&stats).unwrap()).unwrap();
+    let us_open_stats = stats_doc
+        .get("corpora")
+        .and_then(|c| c.get("us_open"))
+        .expect("us_open in /stats corpora");
+    assert_eq!(
+        us_open_stats.get("version").and_then(JsonValue::as_usize),
+        Some(2)
+    );
+    assert_ne!(
+        us_open_stats.get("fingerprint").and_then(JsonValue::as_str),
+        Some(fingerprint_v1.as_str())
+    );
+
+    // GET /diff spans the two corpus versions through the report cache.
+    let (status, _, body) = get(&server, "/diff?scenario=us_open&from=1&to=2");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let diff_doc = JsonValue::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        diff_doc.get("identical").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+    let (status, _, body) = get(&server, "/diff?scenario=us_open&from=2&to=2");
+    assert_eq!(status, 200);
+    let diff_doc = JsonValue::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        diff_doc.get("identical").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+
+    // Unknown versions and malformed parameters are 4xx, never 500.
+    let (status, _, _) = get(&server, "/diff?scenario=us_open&from=9&to=2");
+    assert_eq!(status, 404);
+    let (status, _, _) = get(&server, "/diff?scenario=us_open&from=one&to=2");
+    assert_eq!(status, 400);
+    let (status, _, _) = get(&server, "/diff?scenario=us_open&from=1");
+    assert_eq!(status, 400);
+
+    // Updating an unknown id is 404; so is deleting one.
+    let (status, _, _) = post(
+        &server,
+        "/corpus/docs",
+        r#"{"scenario": "us_open", "mode": "update", "doc": {"id": "nope", "text": "x"}}"#,
+    );
+    assert_eq!(status, 404);
+    let (status, _, _) = exchange(
+        &server,
+        b"DELETE /corpus/docs/nope?scenario=us_open HTTP/1.1\r\nHost: t\r\n\r\n",
+    );
+    assert_eq!(status, 404);
+
+    // DELETE removes the document and bumps the version again.
+    let (status, _, body) = exchange(
+        &server,
+        b"DELETE /corpus/docs/us-open-2024?scenario=us_open HTTP/1.1\r\nHost: t\r\n\r\n",
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let delete_doc = JsonValue::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    assert_eq!(
+        delete_doc.get("removed").and_then(JsonValue::as_str),
+        Some("us-open-2024")
+    );
+    assert_eq!(version_of(&delete_doc), Some(3));
+
+    // Wrong methods on the new paths are 405 + Allow, not 404.
+    let (status, head, _) = get(&server, "/corpus/docs");
+    assert_eq!(status, 405);
+    assert!(head.contains("Allow: POST"), "{head}");
+    let (status, head, _) = get(&server, "/corpus/docs/us-open-2024");
+    assert_eq!(status, 405);
+    assert!(head.contains("Allow: DELETE"), "{head}");
+    let (status, head, _) = exchange(&server, b"DELETE /diff HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 405);
+    assert!(head.contains("Allow: GET, POST"), "{head}");
 }
 
 /// The report cache makes the second identical request a hit, visible in
