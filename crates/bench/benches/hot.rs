@@ -20,7 +20,7 @@ use rage_bench::workloads::{
 use rage_bench::{black_box, scaled, section, Runner};
 use rage_core::counterfactual::{find_combination_counterfactual, CounterfactualConfig};
 use rage_core::scoring::ScoringMethod;
-use rage_core::RageReport;
+use rage_core::{Deadline, RageReport};
 
 fn main() {
     let mut runner = Runner::from_args();
@@ -74,6 +74,45 @@ fn main() {
         let (evaluator, cache) = parallel_evaluator_and_cache_for(&scenario, 4);
         black_box(RageReport::generate(&evaluator, &config).unwrap());
         runner.cache_counters("report/k=8/prefix_cache", cache.stats());
+    }
+
+    section("anytime: deadline-bounded report");
+    {
+        // How much explanation fits under each served SLO: the wall-clock per
+        // deadline tier, plus two tracked counters per tier — did the bounded
+        // run still find a flip, and did every section finish exactly? Both
+        // come from one instrumented run (counters inside `bench` would count
+        // warm-up iterations too).
+        let scenario = synthetic(8);
+        let config = bench_report_config();
+        for deadline_ms in [5u64, 20, 50, 200] {
+            let name = format!("anytime/report/k=8/{deadline_ms}ms");
+            runner.bench(&name, scaled(10), || {
+                let evaluator = evaluator_for(&scenario);
+                black_box(
+                    RageReport::generate_with_deadline(
+                        &evaluator,
+                        &config,
+                        Some(Deadline::after_ms(deadline_ms)),
+                    )
+                    .unwrap(),
+                );
+            });
+            let evaluator = evaluator_for(&scenario);
+            let report = RageReport::generate_with_deadline(
+                &evaluator,
+                &config,
+                Some(Deadline::after_ms(deadline_ms)),
+            )
+            .unwrap();
+            let flip_found = report.top_down.counterfactual.is_some()
+                || report.bottom_up.counterfactual.is_some();
+            runner.counter(&format!("{name}/flip_found"), flip_found as u64 as f64);
+            runner.counter(
+                &format!("{name}/sections_exact"),
+                report.all_sections_exact() as u64 as f64,
+            );
+        }
     }
 
     runner.finish();

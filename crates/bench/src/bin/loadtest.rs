@@ -11,8 +11,9 @@
 //! ephemeral port (the CI path — no separate process to babysit); with
 //! `--addr` it targets an already-running server. `--clients` concurrent
 //! client threads each issue `--requests` requests in a fixed rotation of the
-//! three serving endpoints (`GET /scenarios`, `GET /report?format=json`,
-//! `POST /ask`).
+//! four serving endpoints (`GET /scenarios`, `GET /report?format=json`, the
+//! same report with `deadline_ms=50` — the anytime SLO path, measured as its
+//! own `report_anytime` bucket — and `POST /ask`).
 //!
 //! Two connection disciplines are measured (both by default, so one
 //! `SERVER_pr.json` records the connection-churn cost side by side):
@@ -356,6 +357,13 @@ fn run(config: LoadConfig) -> Result<(), String> {
                 "report_json",
                 format!(
                     "GET /report?scenario={scenario}&format=json HTTP/1.1\r\nHost: loadtest\r\n{connection}\r\n"
+                )
+                .into_bytes(),
+            ),
+            (
+                "report_anytime",
+                format!(
+                    "GET /report?scenario={scenario}&format=json&deadline_ms=50 HTTP/1.1\r\nHost: loadtest\r\n{connection}\r\n"
                 )
                 .into_bytes(),
             ),

@@ -14,18 +14,36 @@
 //!   the answer are the most likely to flip it;
 //! * permutations are evaluated in **decreasing Kendall-tau similarity** to the
 //!   original order — the least disruptive re-orderings first;
-//! * every search runs under an optional **evaluation budget**; the
-//!   [`Evaluator`] caches and counts the underlying LLM calls (cost metric of
-//!   experiment E7).
+//! * every search runs under a [`SearchBudget`] — an evaluation cap plus an
+//!   optional monotonic [`Deadline`](crate::budget::Deadline) — checked at
+//!   batch boundaries; the [`Evaluator`] caches and counts the underlying LLM
+//!   calls (cost metric of experiment E7);
+//! * with [`CounterfactualConfig::with_pruning`], the combination search may
+//!   additionally *prune* candidates under a monotonicity bound: a candidate
+//!   set whose superset already failed to flip the answer is assumed unable to
+//!   flip it either, so the covered frontier is skipped and **counted**
+//!   (reported in [`Completeness::BudgetTruncated`]) instead of evaluated.
+//!   The bound is admissible only for *perturbation-monotone* models. Real
+//!   models (including the simulated ranking scenarios) are not monotone — an
+//!   answer can flip under a partial removal even when removing everything
+//!   restores the prior answer — so pruning is opt-in, never enabled on the
+//!   report or anytime paths, and its behaviour on both monotone and
+//!   non-monotone evaluators is pinned by the differential suite
+//!   (`crates/core/tests/differential.rs`).
+//!
+//! Every outcome carries a [`Completeness`] marker stating whether the search
+//! resolved its whole space or was truncated by the cap, the deadline or the
+//! pruning bound.
 
 use serde::{Deserialize, Serialize};
 
 use rage_assignment::combinations::{complement, CombinationIter};
 use rage_assignment::kendall::kendall_tau;
-use rage_assignment::numeric::factorial;
+use rage_assignment::numeric::{binomial, factorial};
 use rage_assignment::permutations::SimilarityPermutations;
 
 use crate::answer::answers_equal;
+use crate::budget::{Completeness, SearchBudget};
 use crate::error::RageError;
 use crate::evaluator::Evaluate;
 use crate::perturbation::Perturbation;
@@ -52,9 +70,17 @@ pub struct CounterfactualConfig {
     pub scoring: ScoringMethod,
     /// Largest candidate set size to consider (defaults to `k`).
     pub max_size: Option<usize>,
-    /// Maximum number of candidate evaluations before giving up (unlimited by
-    /// default; the baseline answers are not counted).
-    pub budget: Option<usize>,
+    /// Evaluation cap and optional deadline ([`SearchBudget::UNLIMITED`] by
+    /// default; the baseline answers are not counted against it).
+    pub budget: SearchBudget,
+    /// Enable the monotonicity pruning bound: when the lattice-maximal
+    /// perturbation (remove everything for top-down, retain everything for
+    /// bottom-up) already fails to flip the answer, every candidate — each a
+    /// subset of it — is pruned and counted instead of evaluated.
+    ///
+    /// Admissible only for perturbation-monotone models; off by default and
+    /// never enabled by the report or anytime paths (see the module docs).
+    pub prune: bool,
 }
 
 impl CounterfactualConfig {
@@ -88,7 +114,25 @@ impl CounterfactualConfig {
 
     /// Bound the number of candidate evaluations (builder style).
     pub fn with_budget(mut self, budget: usize) -> Self {
-        self.budget = Some(budget);
+        self.budget.max_evaluations = Some(budget);
+        self
+    }
+
+    /// Set the whole [`SearchBudget`] — cap and/or deadline (builder style).
+    pub fn with_search_budget(mut self, budget: SearchBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attach a wall-clock deadline (builder style).
+    pub fn with_deadline(mut self, deadline: crate::budget::Deadline) -> Self {
+        self.budget.deadline = Some(deadline);
+        self
+    }
+
+    /// Enable the monotonicity pruning bound (builder style).
+    pub fn with_pruning(mut self) -> Self {
+        self.prune = true;
         self
     }
 }
@@ -133,8 +177,11 @@ impl CombinationCounterfactual {
 pub struct CombinationOutcome {
     /// The first (smallest, most relevant) counterfactual found, if any.
     pub counterfactual: Option<CombinationCounterfactual>,
-    /// Whether the search stopped early because the evaluation budget ran out.
+    /// Whether the search stopped early because the evaluation budget (cap or
+    /// deadline) ran out.
     pub exhausted_budget: bool,
+    /// How completely the candidate space was resolved.
+    pub completeness: Completeness,
     /// Cost accounting.
     pub stats: SearchStats,
 }
@@ -159,8 +206,11 @@ pub struct PermutationCounterfactual {
 pub struct PermutationOutcome {
     /// The most-similar answer-changing re-ordering found, if any.
     pub counterfactual: Option<PermutationCounterfactual>,
-    /// Whether the search stopped early because the evaluation budget ran out.
+    /// Whether the search stopped early because the evaluation budget (cap or
+    /// deadline) ran out.
     pub exhausted_budget: bool,
+    /// How completely the candidate space was resolved.
+    pub completeness: Completeness,
     /// Cost accounting.
     pub stats: SearchStats,
 }
@@ -188,8 +238,10 @@ fn ramped(window: usize, cap: usize) -> usize {
 /// Candidates are enumerated in increasing set size; equal-size candidates are
 /// evaluated in decreasing estimated relevance. The search stops at the first
 /// answer change, after the whole (size-bounded) space has been evaluated, or
-/// when the evaluation budget runs out — the returned
-/// [`CombinationOutcome::exhausted_budget`] flag distinguishes the last two.
+/// when the [`SearchBudget`] (evaluation cap or deadline) runs out — the
+/// returned [`CombinationOutcome::completeness`] marker distinguishes the
+/// cases, and [`CombinationOutcome::exhausted_budget`] stays as the boolean
+/// summary.
 ///
 /// Candidates are submitted to the evaluator in windows of
 /// [`Evaluate::preferred_batch`] (truncated at the remaining budget), then
@@ -212,6 +264,37 @@ pub fn find_combination_counterfactual<E: Evaluate + ?Sized>(
     let max_size = config.max_size.unwrap_or(k).min(k);
     let max_window = evaluator.preferred_batch().max(1);
     let mut window = max_window.min(WINDOW_RAMP_START);
+
+    if config.prune {
+        // Monotonicity bound at the lattice-maximal perturbation: every
+        // candidate set is a subset of the full removal (top-down) / full
+        // retention (bottom-up), so — for a perturbation-monotone model — if
+        // even that endpoint leaves the baseline answer unchanged, no candidate
+        // in the frontier can flip it. The endpoint is the *other* cached
+        // baseline, so the check costs at most one LLM call and no candidate
+        // evaluations. Non-monotone models can defeat the bound (see the
+        // module docs), which is why nothing enables it implicitly.
+        let endpoint = match config.direction {
+            SearchDirection::TopDown => evaluator.empty_context_answer()?,
+            SearchDirection::BottomUp => evaluator.full_context_answer()?,
+        };
+        if answers_equal(&endpoint, &baseline) {
+            let pruned: u128 = (1..=max_size).map(|size| binomial(k, size)).sum();
+            let pruned = usize::try_from(pruned).unwrap_or(usize::MAX);
+            return Ok(CombinationOutcome {
+                counterfactual: None,
+                exhausted_budget: false,
+                completeness: Completeness::BudgetTruncated {
+                    evaluated: 0,
+                    pruned,
+                },
+                stats: SearchStats {
+                    candidates: 0,
+                    llm_calls: evaluator.llm_calls() - llm_calls_before,
+                },
+            });
+        }
+    }
 
     let mut candidates = 0usize;
     for size in 1..=max_size {
@@ -239,21 +322,20 @@ pub fn find_combination_counterfactual<E: Evaluate + ?Sized>(
 
         let mut next = 0usize;
         while next < splits.len() {
-            if let Some(budget) = config.budget {
-                if candidates >= budget {
-                    return Ok(CombinationOutcome {
-                        counterfactual: None,
-                        exhausted_budget: true,
-                        stats: SearchStats {
-                            candidates,
-                            llm_calls: evaluator.llm_calls() - llm_calls_before,
-                        },
-                    });
-                }
+            if let Some(stop) = config.budget.check(candidates) {
+                return Ok(CombinationOutcome {
+                    counterfactual: None,
+                    exhausted_budget: true,
+                    completeness: Completeness::from_stop(stop, candidates, 0),
+                    stats: SearchStats {
+                        candidates,
+                        llm_calls: evaluator.llm_calls() - llm_calls_before,
+                    },
+                });
             }
             let mut end = (next + window).min(splits.len());
-            if let Some(budget) = config.budget {
-                end = end.min(next + (budget - candidates));
+            if let Some(remaining) = config.budget.remaining(candidates) {
+                end = end.min(next + remaining);
             }
             let batch: Vec<Perturbation> = splits[next..end]
                 .iter()
@@ -273,6 +355,7 @@ pub fn find_combination_counterfactual<E: Evaluate + ?Sized>(
                             answer,
                         }),
                         exhausted_budget: false,
+                        completeness: Completeness::Exact,
                         stats: SearchStats {
                             candidates,
                             llm_calls: evaluator.llm_calls() - llm_calls_before,
@@ -288,6 +371,7 @@ pub fn find_combination_counterfactual<E: Evaluate + ?Sized>(
     Ok(CombinationOutcome {
         counterfactual: None,
         exhausted_budget: false,
+        completeness: Completeness::Exact,
         stats: SearchStats {
             candidates,
             llm_calls: evaluator.llm_calls() - llm_calls_before,
@@ -297,7 +381,10 @@ pub fn find_combination_counterfactual<E: Evaluate + ?Sized>(
 
 /// Like [`find_combination_counterfactual`] but demands a result: failing to
 /// find one (budget exhausted or space exhausted) is a
-/// [`RageError::BudgetExhausted`].
+/// [`RageError::BudgetExhausted`], with
+/// [`space_exhausted`](RageError::BudgetExhausted::space_exhausted)
+/// distinguishing "no counterfactual exists in the searched space" from
+/// "the budget or deadline stopped the search first".
 pub fn require_combination_counterfactual<E: Evaluate + ?Sized>(
     evaluator: &E,
     config: &CounterfactualConfig,
@@ -305,6 +392,7 @@ pub fn require_combination_counterfactual<E: Evaluate + ?Sized>(
     let outcome = find_combination_counterfactual(evaluator, config)?;
     outcome.counterfactual.ok_or(RageError::BudgetExhausted {
         evaluated: outcome.stats.candidates,
+        space_exhausted: !outcome.exhausted_budget,
     })
 }
 
@@ -312,27 +400,28 @@ pub fn require_combination_counterfactual<E: Evaluate + ?Sized>(
 ///
 /// Candidate permutations are enumerated in decreasing Kendall-tau similarity
 /// (increasing inversion count) and evaluated until the answer changes. At most
-/// `budget` candidates — [`DEFAULT_PERMUTATION_BUDGET`] when `None` — are
-/// evaluated; the identity order is not a candidate.
+/// `budget.max_evaluations` candidates — [`DEFAULT_PERMUTATION_BUDGET`] when
+/// unset — are evaluated, the budget's deadline (if any) is checked before
+/// each window, and the identity order is not a candidate.
 ///
 /// Candidates are submitted in windows of [`Evaluate::preferred_batch`] and
 /// scanned in similarity order, with the same speculative-evaluation caveat as
 /// [`find_combination_counterfactual`].
 pub fn find_permutation_counterfactual<E: Evaluate + ?Sized>(
     evaluator: &E,
-    budget: Option<usize>,
+    budget: &SearchBudget,
 ) -> Result<PermutationOutcome, RageError> {
     let k = evaluator.k();
     let llm_calls_before = evaluator.llm_calls();
     let baseline = evaluator.full_context_answer()?;
-    let budget = budget.unwrap_or(DEFAULT_PERMUTATION_BUDGET);
+    let cap = budget.max_evaluations.unwrap_or(DEFAULT_PERMUTATION_BUDGET);
     let max_window = evaluator.preferred_batch().max(1);
     let mut window = max_window.min(WINDOW_RAMP_START);
 
     // Total non-identity permutations; saturating, only compared against the
-    // budget to decide whether the space (not just the budget) was exhausted.
+    // cap to decide whether the space (not just the budget) was exhausted.
     let space = factorial(k).saturating_sub(1);
-    let limit = (budget as u128).min(space) as usize;
+    let limit = (cap as u128).min(space) as usize;
 
     // The lazy frontier iterator yields the identity first; skip it. Orders
     // are pulled one evaluation window at a time, so only the current window
@@ -344,6 +433,19 @@ pub fn find_permutation_counterfactual<E: Evaluate + ?Sized>(
         let window_orders: Vec<Vec<usize>> = orders.by_ref().take(window).collect();
         if window_orders.is_empty() {
             break;
+        }
+        // `take(limit)` already enforces the evaluation cap, so at a non-empty
+        // window only the deadline can stop us here.
+        if let Some(stop) = budget.check(candidates) {
+            return Ok(PermutationOutcome {
+                counterfactual: None,
+                exhausted_budget: true,
+                completeness: Completeness::from_stop(stop, candidates, 0),
+                stats: SearchStats {
+                    candidates,
+                    llm_calls: evaluator.llm_calls() - llm_calls_before,
+                },
+            });
         }
         let batch: Vec<Perturbation> = window_orders
             .iter()
@@ -364,6 +466,7 @@ pub fn find_permutation_counterfactual<E: Evaluate + ?Sized>(
                         answer,
                     }),
                     exhausted_budget: false,
+                    completeness: Completeness::Exact,
                     stats: SearchStats {
                         candidates,
                         llm_calls: evaluator.llm_calls() - llm_calls_before,
@@ -374,9 +477,18 @@ pub fn find_permutation_counterfactual<E: Evaluate + ?Sized>(
         window = ramped(window, max_window);
     }
 
+    let exhausted_budget = (candidates as u128) < space;
     Ok(PermutationOutcome {
         counterfactual: None,
-        exhausted_budget: (candidates as u128) < space,
+        exhausted_budget,
+        completeness: if exhausted_budget {
+            Completeness::BudgetTruncated {
+                evaluated: candidates,
+                pruned: 0,
+            }
+        } else {
+            Completeness::Exact
+        },
         stats: SearchStats {
             candidates,
             llm_calls: evaluator.llm_calls() - llm_calls_before,
@@ -387,11 +499,12 @@ pub fn find_permutation_counterfactual<E: Evaluate + ?Sized>(
 /// Like [`find_permutation_counterfactual`] but demands a result.
 pub fn require_permutation_counterfactual<E: Evaluate + ?Sized>(
     evaluator: &E,
-    budget: Option<usize>,
+    budget: &SearchBudget,
 ) -> Result<PermutationCounterfactual, RageError> {
     let outcome = find_permutation_counterfactual(evaluator, budget)?;
     outcome.counterfactual.ok_or(RageError::BudgetExhausted {
         evaluated: outcome.stats.candidates,
+        space_exhausted: !outcome.exhausted_budget,
     })
 }
 
@@ -535,6 +648,7 @@ mod tests {
             find_combination_counterfactual(&evaluator, &CounterfactualConfig::top_down()).unwrap();
         assert!(outcome.counterfactual.is_none());
         assert!(!outcome.exhausted_budget);
+        assert_eq!(outcome.completeness, Completeness::Exact);
         // All 2^3 - 1 = 7 non-full subsets of removals == 7 candidates.
         assert_eq!(outcome.stats.candidates, 7);
     }
@@ -547,9 +661,118 @@ mod tests {
         assert!(outcome.counterfactual.is_none());
         assert!(outcome.exhausted_budget);
         assert_eq!(outcome.stats.candidates, 3);
+        assert_eq!(
+            outcome.completeness,
+            Completeness::BudgetTruncated {
+                evaluated: 3,
+                pruned: 0
+            }
+        );
 
         let err = require_combination_counterfactual(&evaluator, &config).unwrap_err();
-        assert!(matches!(err, RageError::BudgetExhausted { evaluated: 3 }));
+        assert!(matches!(
+            err,
+            RageError::BudgetExhausted {
+                evaluated: 3,
+                space_exhausted: false
+            }
+        ));
+    }
+
+    #[test]
+    fn space_exhaustion_is_reported_as_such() {
+        // ConstantLlm never flips, so the unbounded search covers all 7
+        // candidates and the error must say the *space* is exhausted.
+        let evaluator = Evaluator::new(Arc::new(ConstantLlm), context(3));
+        let err = require_combination_counterfactual(&evaluator, &CounterfactualConfig::top_down())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RageError::BudgetExhausted {
+                evaluated: 7,
+                space_exhausted: true
+            }
+        ));
+    }
+
+    #[test]
+    fn pruning_skips_a_provably_flip_free_frontier() {
+        // ConstantLlm: the empty-context answer equals the full-context answer,
+        // so the lattice-maximal removal fails to flip and the whole top-down
+        // frontier (2^4 - 1 = 15 sets) is pruned without a single evaluation.
+        let evaluator = Evaluator::new(Arc::new(ConstantLlm), context(4));
+        let config = CounterfactualConfig::top_down().with_pruning();
+        let outcome = find_combination_counterfactual(&evaluator, &config).unwrap();
+        assert!(outcome.counterfactual.is_none());
+        assert!(!outcome.exhausted_budget);
+        assert_eq!(outcome.stats.candidates, 0);
+        assert_eq!(
+            outcome.completeness,
+            Completeness::BudgetTruncated {
+                evaluated: 0,
+                pruned: 15
+            }
+        );
+        // The pruned "no counterfactual" verdict counts as space-resolved.
+        let err = require_combination_counterfactual(&evaluator, &config).unwrap_err();
+        assert!(matches!(
+            err,
+            RageError::BudgetExhausted {
+                evaluated: 0,
+                space_exhausted: true
+            }
+        ));
+    }
+
+    #[test]
+    fn pruning_preserves_the_answer_when_a_flip_exists() {
+        // FirstSourceLlm flips at the endpoint (empty context answers
+        // "nothing" != "a"), so pruning must not trigger and both runs must
+        // find the identical counterfactual at the identical cost.
+        let plain = Evaluator::new(Arc::new(FirstSourceLlm::uniform(3)), context(3));
+        let unpruned =
+            find_combination_counterfactual(&plain, &CounterfactualConfig::top_down()).unwrap();
+        let gated = Evaluator::new(Arc::new(FirstSourceLlm::uniform(3)), context(3));
+        let pruned = find_combination_counterfactual(
+            &gated,
+            &CounterfactualConfig::top_down().with_pruning(),
+        )
+        .unwrap();
+        assert_eq!(pruned.counterfactual, unpruned.counterfactual);
+        assert_eq!(pruned.stats.candidates, unpruned.stats.candidates);
+        assert_eq!(pruned.completeness, Completeness::Exact);
+    }
+
+    #[test]
+    fn expired_deadline_truncates_the_combination_search() {
+        let evaluator = Evaluator::new(Arc::new(ConstantLlm), context(3));
+        let deadline = crate::budget::Deadline::after_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let config = CounterfactualConfig::top_down().with_deadline(deadline);
+        let outcome = find_combination_counterfactual(&evaluator, &config).unwrap();
+        assert!(outcome.counterfactual.is_none());
+        assert!(outcome.exhausted_budget);
+        assert_eq!(outcome.stats.candidates, 0);
+        assert!(matches!(
+            outcome.completeness,
+            Completeness::DeadlineTruncated { .. }
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_truncates_the_permutation_search() {
+        let evaluator = Evaluator::new(Arc::new(ConstantLlm), context(3));
+        let deadline = crate::budget::Deadline::after_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let budget = SearchBudget::UNLIMITED.with_deadline(deadline);
+        let outcome = find_permutation_counterfactual(&evaluator, &budget).unwrap();
+        assert!(outcome.counterfactual.is_none());
+        assert!(outcome.exhausted_budget);
+        assert_eq!(outcome.stats.candidates, 0);
+        assert!(matches!(
+            outcome.completeness,
+            Completeness::DeadlineTruncated { .. }
+        ));
     }
 
     #[test]
@@ -566,7 +789,8 @@ mod tests {
     #[test]
     fn permutation_search_finds_the_most_similar_flip() {
         let evaluator = Evaluator::new(Arc::new(FirstSourceLlm::uniform(3)), context(3));
-        let outcome = find_permutation_counterfactual(&evaluator, None).unwrap();
+        let outcome =
+            find_permutation_counterfactual(&evaluator, &SearchBudget::UNLIMITED).unwrap();
         let cf = outcome.counterfactual.expect("counterfactual exists");
         // The single-inversion orders are [0,2,1] (same first source, same
         // answer) and [1,0,2] (answer flips to "b"); the search must find the
@@ -580,9 +804,11 @@ mod tests {
     #[test]
     fn permutation_search_exhausts_small_spaces() {
         let evaluator = Evaluator::new(Arc::new(ConstantLlm), context(3));
-        let outcome = find_permutation_counterfactual(&evaluator, None).unwrap();
+        let outcome =
+            find_permutation_counterfactual(&evaluator, &SearchBudget::UNLIMITED).unwrap();
         assert!(outcome.counterfactual.is_none());
         assert!(!outcome.exhausted_budget);
+        assert_eq!(outcome.completeness, Completeness::Exact);
         // 3! - 1 = 5 non-identity orders.
         assert_eq!(outcome.stats.candidates, 5);
     }
@@ -590,13 +816,24 @@ mod tests {
     #[test]
     fn permutation_budget_is_respected() {
         let evaluator = Evaluator::new(Arc::new(ConstantLlm), context(4));
-        let outcome = find_permutation_counterfactual(&evaluator, Some(4)).unwrap();
+        let budget = SearchBudget::max_evaluations(4);
+        let outcome = find_permutation_counterfactual(&evaluator, &budget).unwrap();
         assert!(outcome.counterfactual.is_none());
         assert!(outcome.exhausted_budget);
         assert_eq!(outcome.stats.candidates, 4);
+        assert_eq!(
+            outcome.completeness,
+            Completeness::BudgetTruncated {
+                evaluated: 4,
+                pruned: 0
+            }
+        );
         assert!(matches!(
-            require_permutation_counterfactual(&evaluator, Some(4)),
-            Err(RageError::BudgetExhausted { evaluated: 4 })
+            require_permutation_counterfactual(&evaluator, &budget),
+            Err(RageError::BudgetExhausted {
+                evaluated: 4,
+                space_exhausted: false
+            })
         ));
     }
 
@@ -606,7 +843,8 @@ mod tests {
         let combo_seq =
             find_combination_counterfactual(&sequential, &CounterfactualConfig::top_down())
                 .unwrap();
-        let perm_seq = find_permutation_counterfactual(&sequential, None).unwrap();
+        let perm_seq =
+            find_permutation_counterfactual(&sequential, &SearchBudget::UNLIMITED).unwrap();
 
         for threads in [1, 2, 4] {
             let parallel = ParallelEvaluator::new(
@@ -616,7 +854,8 @@ mod tests {
             let combo =
                 find_combination_counterfactual(&parallel, &CounterfactualConfig::top_down())
                     .unwrap();
-            let perm = find_permutation_counterfactual(&parallel, None).unwrap();
+            let perm =
+                find_permutation_counterfactual(&parallel, &SearchBudget::UNLIMITED).unwrap();
             // Identical explanations and identical logical candidate counts;
             // only the speculative llm_calls may exceed the sequential run's.
             assert_eq!(combo.counterfactual, combo_seq.counterfactual);

@@ -26,10 +26,17 @@ pub enum RageError {
         /// Human-readable reason.
         reason: String,
     },
-    /// The search exhausted its evaluation budget without finding a counterfactual.
+    /// The search stopped without finding a counterfactual — either the
+    /// evaluation budget ran out first, or the whole searched space was
+    /// covered and provably contains none.
     BudgetExhausted {
         /// Number of perturbations evaluated before giving up.
         evaluated: usize,
+        /// `true` when the search covered its entire candidate space (no
+        /// counterfactual exists in it — a larger budget cannot help);
+        /// `false` when the budget or deadline cut the search short (a larger
+        /// budget might still find one).
+        space_exhausted: bool,
     },
     /// A configuration value was out of range.
     InvalidConfig {
@@ -63,9 +70,19 @@ impl fmt::Display for RageError {
             RageError::InvalidPermutation { reason } => {
                 write!(f, "invalid permutation perturbation: {reason}")
             }
-            RageError::BudgetExhausted { evaluated } => write!(
+            RageError::BudgetExhausted {
+                evaluated,
+                space_exhausted: true,
+            } => write!(
                 f,
-                "evaluation budget exhausted after {evaluated} perturbations without a counterfactual"
+                "search space exhausted after {evaluated} perturbations: no counterfactual exists in the searched space"
+            ),
+            RageError::BudgetExhausted {
+                evaluated,
+                space_exhausted: false,
+            } => write!(
+                f,
+                "evaluation budget exhausted after {evaluated} perturbations without a counterfactual; a larger budget or deadline may find one"
             ),
             RageError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             RageError::InvalidArgument { reason } => write!(f, "invalid argument: {reason}"),
@@ -104,7 +121,10 @@ mod tests {
         };
         assert!(err.to_string().contains('7'));
         assert!(err.to_string().contains('3'));
-        let err = RageError::BudgetExhausted { evaluated: 12 };
+        let err = RageError::BudgetExhausted {
+            evaluated: 12,
+            space_exhausted: false,
+        };
         assert!(err.to_string().contains("12"));
         let err = RageError::InvalidPermutation {
             reason: "dup".into(),
@@ -119,6 +139,30 @@ mod tests {
         };
         assert!(err.to_string().contains("invalid argument"));
         assert!(err.to_string().contains("k must be at least 1"));
+    }
+
+    #[test]
+    fn budget_exhaustion_distinguishes_space_exhaustion() {
+        // Regression (ISSUE 8 satellite): the two failure modes used to share
+        // one message. "Space exhausted" must tell the caller a larger budget
+        // cannot help; "budget exhausted" must suggest one might.
+        let out_of_budget = RageError::BudgetExhausted {
+            evaluated: 3,
+            space_exhausted: false,
+        };
+        assert!(out_of_budget.to_string().contains("budget exhausted"));
+        assert!(out_of_budget.to_string().contains("larger budget"));
+        assert!(!out_of_budget.to_string().contains("space exhausted"));
+
+        let no_counterfactual = RageError::BudgetExhausted {
+            evaluated: 7,
+            space_exhausted: true,
+        };
+        assert!(no_counterfactual.to_string().contains("space exhausted"));
+        assert!(no_counterfactual
+            .to_string()
+            .contains("no counterfactual exists"));
+        assert!(!no_counterfactual.to_string().contains("larger budget"));
     }
 
     #[test]

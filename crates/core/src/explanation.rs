@@ -12,15 +12,18 @@ use serde::{Deserialize, Serialize};
 
 use rage_llm::position_bias::PositionBiasProfile;
 
+use crate::budget::{Completeness, Deadline, SearchBudget};
 use crate::context::Context;
 use crate::counterfactual::{
     find_combination_counterfactual, find_permutation_counterfactual, CombinationOutcome,
-    CounterfactualConfig, PermutationOutcome, SearchDirection,
+    CounterfactualConfig, PermutationOutcome, SearchDirection, DEFAULT_PERMUTATION_BUDGET,
 };
 use crate::error::RageError;
 use crate::evaluator::Evaluate;
-use crate::insights::{random_permutations, Insights};
-use crate::optimal::{best_orders, worst_orders, OptimalConfig, OptimalPermutation};
+use crate::insights::{random_permutations, Insights, DEFAULT_MIN_CONFIDENCE};
+use crate::optimal::{
+    ranked_orders_with_budget, OptimalConfig, OptimalPermutation, OrderObjective,
+};
 use crate::scoring::ScoringMethod;
 
 /// Configuration for [`RageReport::generate`].
@@ -53,6 +56,17 @@ impl Default for ReportConfig {
             insight_samples: 24,
             seed: 7,
         }
+    }
+}
+
+impl ReportConfig {
+    /// The budget the permutation counterfactual search actually runs under:
+    /// the explicit [`ReportConfig::permutation_budget`], or the engine-wide
+    /// [`DEFAULT_PERMUTATION_BUDGET`] when unset. Reports surface this so a
+    /// served report always states what bound it ran under.
+    pub fn effective_permutation_budget(&self) -> usize {
+        self.permutation_budget
+            .unwrap_or(DEFAULT_PERMUTATION_BUDGET)
     }
 }
 
@@ -91,10 +105,17 @@ pub struct RageReport {
     pub bottom_up: CombinationOutcome,
     /// Permutation counterfactual (most similar answer-changing re-ordering).
     pub permutation: PermutationOutcome,
+    /// The effective evaluation budget of the permutation counterfactual
+    /// search — the configured value or [`DEFAULT_PERMUTATION_BUDGET`] when
+    /// none was given — so the report states the bound it ran under.
+    pub permutation_budget: usize,
     /// Best source placements, best-first.
     pub best_orders: Vec<OptimalPermutation>,
     /// Worst source placements, worst-first.
     pub worst_orders: Vec<OptimalPermutation>,
+    /// Whether both placement rankings were fully evaluated, or a deadline cut
+    /// them to a prefix (the markers of the two rankings merged).
+    pub placements_completeness: Completeness,
     /// Insights over a random permutation sample.
     pub insights: Insights,
     /// Total distinct perturbations evaluated while building the report.
@@ -123,6 +144,28 @@ impl RageReport {
         evaluator: &E,
         config: &ReportConfig,
     ) -> Result<Self, RageError> {
+        Self::generate_with_deadline(evaluator, config, None)
+    }
+
+    /// Like [`RageReport::generate`] under an optional wall-clock [`Deadline`]
+    /// — the *anytime* path.
+    ///
+    /// The deadline is shared by every section: each search checks it at its
+    /// batch boundaries and stops with a
+    /// [`Completeness::DeadlineTruncated`] marker instead of running on, so
+    /// the report returns in bounded time with whatever each section resolved.
+    /// The baseline answers and source scores are always computed (an anytime
+    /// report still answers the question). The combination searches run
+    /// *without* the [`CounterfactualConfig::with_pruning`] bound: that bound
+    /// assumes perturbation-monotone evaluators, which served scenarios are
+    /// not (see the counterfactual module docs), so an anytime report only
+    /// ever truncates — it never skips work that could change an answer.
+    /// With `deadline = None` this is exactly [`RageReport::generate`].
+    pub fn generate_with_deadline<E: Evaluate + ?Sized>(
+        evaluator: &E,
+        config: &ReportConfig,
+        deadline: Option<Deadline>,
+    ) -> Result<Self, RageError> {
         let evaluations_before = evaluator.evaluations();
         let llm_calls_before = evaluator.llm_calls();
         let full_context_answer = evaluator.full_context_answer()?;
@@ -133,7 +176,12 @@ impl RageReport {
             direction: SearchDirection::TopDown,
             scoring: config.scoring,
             max_size: None,
-            budget: config.combination_budget,
+            budget: SearchBudget::from(config.combination_budget).with_deadline_opt(deadline),
+            // Never pruned, even under a deadline: the pruning bound is only
+            // admissible for monotone evaluators, and a ranking scenario can
+            // flip under a partial removal even when the full removal restores
+            // the baseline answer.
+            prune: false,
         };
         let top_down = find_combination_counterfactual(evaluator, &combination_config)?;
         let bottom_up = find_combination_counterfactual(
@@ -143,18 +191,37 @@ impl RageReport {
                 ..combination_config
             },
         )?;
-        let permutation = find_permutation_counterfactual(evaluator, config.permutation_budget)?;
+        let permutation_search_budget =
+            SearchBudget::from(config.permutation_budget).with_deadline_opt(deadline);
+        let permutation = find_permutation_counterfactual(evaluator, &permutation_search_budget)?;
 
         let optimal_config = OptimalConfig {
             scoring: config.scoring,
             position_bias: config.position_bias,
             num_orders: config.num_optimal_orders,
         };
-        let best_orders = best_orders(evaluator, &optimal_config)?;
-        let worst_orders = worst_orders(evaluator, &optimal_config)?;
+        let placement_budget = SearchBudget::UNLIMITED.with_deadline_opt(deadline);
+        let (best_orders, best_marker) = ranked_orders_with_budget(
+            evaluator,
+            &optimal_config,
+            OrderObjective::Best,
+            &placement_budget,
+        )?;
+        let (worst_orders, worst_marker) = ranked_orders_with_budget(
+            evaluator,
+            &optimal_config,
+            OrderObjective::Worst,
+            &placement_budget,
+        )?;
+        let placements_completeness = best_marker.merge(worst_marker);
 
         let samples = random_permutations(evaluator.k(), config.insight_samples, config.seed);
-        let insights = Insights::from_perturbations(evaluator, &samples)?;
+        let insights = Insights::with_budget(
+            evaluator,
+            &samples,
+            DEFAULT_MIN_CONFIDENCE,
+            &SearchBudget::UNLIMITED.with_deadline_opt(deadline),
+        )?;
 
         Ok(RageReport {
             question: evaluator.question().to_string(),
@@ -165,13 +232,24 @@ impl RageReport {
             top_down,
             bottom_up,
             permutation,
+            permutation_budget: config.effective_permutation_budget(),
             best_orders,
             worst_orders,
+            placements_completeness,
             insights,
             evaluations: evaluator.evaluations() - evaluations_before,
             llm_calls: evaluator.llm_calls() - llm_calls_before,
             corpus: None,
         })
+    }
+
+    /// Whether every section of the report resolved its whole search space.
+    pub fn all_sections_exact(&self) -> bool {
+        self.top_down.completeness.is_exact()
+            && self.bottom_up.completeness.is_exact()
+            && self.permutation.completeness.is_exact()
+            && self.placements_completeness.is_exact()
+            && self.insights.completeness.is_exact()
     }
 
     /// The document ids the explanation cites: the sources whose removal
@@ -336,6 +414,75 @@ mod tests {
         assert!(summary.contains("question: Who holds the most grand slam titles?"));
         assert!(summary.contains(&format!("answer: {}", report.full_context_answer)));
         assert!(summary.contains("cost:"));
+    }
+
+    #[test]
+    fn no_deadline_is_exactly_the_default_generation() {
+        let p = pipeline();
+        let config = ReportConfig::default();
+        let (_, ev1) = p
+            .ask_and_explain("Who holds the most grand slam titles?", 3)
+            .unwrap();
+        let (_, ev2) = p
+            .ask_and_explain("Who holds the most grand slam titles?", 3)
+            .unwrap();
+        let plain = RageReport::generate(&ev1, &config).unwrap();
+        let anytime = RageReport::generate_with_deadline(&ev2, &config, None).unwrap();
+        assert_eq!(plain, anytime);
+        assert!(plain.all_sections_exact());
+        assert_eq!(
+            plain.permutation_budget,
+            config.effective_permutation_budget()
+        );
+    }
+
+    #[test]
+    fn effective_permutation_budget_falls_back_to_the_default() {
+        let explicit = ReportConfig::default();
+        assert_eq!(explicit.effective_permutation_budget(), 128);
+        let defaulted = ReportConfig {
+            permutation_budget: None,
+            ..ReportConfig::default()
+        };
+        assert_eq!(
+            defaulted.effective_permutation_budget(),
+            crate::counterfactual::DEFAULT_PERMUTATION_BUDGET
+        );
+    }
+
+    #[test]
+    fn expired_deadline_yields_a_bounded_truncated_report() {
+        let p = pipeline();
+        let (_, evaluator) = p
+            .ask_and_explain("Who holds the most grand slam titles?", 3)
+            .unwrap();
+        let deadline = Deadline::after_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let report = RageReport::generate_with_deadline(
+            &evaluator,
+            &ReportConfig::default(),
+            Some(deadline),
+        )
+        .unwrap();
+        // The anytime report still answers the question...
+        assert!(!report.full_context_answer.is_empty());
+        assert_eq!(report.source_scores.len(), report.context.len());
+        // ...but every search stopped at its first batch boundary.
+        assert!(!report.all_sections_exact());
+        assert!(matches!(
+            report.permutation.completeness,
+            Completeness::DeadlineTruncated { .. }
+        ));
+        assert!(matches!(
+            report.placements_completeness,
+            Completeness::DeadlineTruncated { .. }
+        ));
+        assert!(matches!(
+            report.insights.completeness,
+            Completeness::DeadlineTruncated { .. }
+        ));
+        assert!(report.best_orders.is_empty());
+        assert_eq!(report.insights.num_samples, 0);
     }
 
     #[test]

@@ -19,10 +19,33 @@ use rage_assignment::combinations::SizeOrderedSubsets;
 use rage_assignment::permutations::sample_permutations;
 
 use crate::answer::normalize_answer;
+use crate::budget::{BudgetStop, Completeness, SearchBudget};
 use crate::counterfactual::SearchStats;
 use crate::error::RageError;
 use crate::evaluator::Evaluate;
 use crate::perturbation::Perturbation;
+
+/// A normal-approximation 95% confidence interval for an answer share,
+/// attached when a budget truncated the sample (the evaluated prefix is then
+/// an estimate of the full seeded sample's distribution).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShareInterval {
+    /// Lower bound of the interval (clamped to 0).
+    pub lower: f64,
+    /// Upper bound of the interval (clamped to 1).
+    pub upper: f64,
+}
+
+impl ShareInterval {
+    /// The Wald interval `p ± 1.96·sqrt(p(1−p)/n)` clamped to `[0, 1]`.
+    pub fn normal_approx(share: f64, n: usize) -> Self {
+        let half = 1.96 * (share * (1.0 - share) / n.max(1) as f64).sqrt();
+        ShareInterval {
+            lower: (share - half).max(0.0),
+            upper: (share + half).min(1.0),
+        }
+    }
+}
 
 /// One answer and its share of the sample.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,6 +58,9 @@ pub struct AnswerShare {
     pub count: usize,
     /// Fraction of all samples producing this answer.
     pub share: f64,
+    /// 95% confidence interval for the share, present only when the sample was
+    /// budget- or deadline-truncated (an exact sample needs no interval).
+    pub interval: Option<ShareInterval>,
 }
 
 /// The distribution of answers over a perturbation sample.
@@ -124,6 +150,9 @@ pub struct PresenceRule {
 pub struct Insights {
     /// Number of perturbations in the sample.
     pub num_samples: usize,
+    /// Whether the whole requested sample was evaluated, or a budget/deadline
+    /// truncated it to a prefix (the unevaluated tail is counted as `pruned`).
+    pub completeness: Completeness,
     /// The answer distribution.
     pub distribution: AnswerDistribution,
     /// The source × answer frequency table.
@@ -177,18 +206,75 @@ impl Insights {
         perturbations: &[Perturbation],
         min_confidence: f64,
     ) -> Result<Self, RageError> {
+        Self::with_budget(
+            evaluator,
+            perturbations,
+            min_confidence,
+            &SearchBudget::UNLIMITED,
+        )
+    }
+
+    /// Like [`Insights::with_min_confidence`] under a [`SearchBudget`].
+    ///
+    /// An evaluation cap keeps the *prefix* of the (seeded, deterministic)
+    /// sample, so two runs with the same seed and cap see identical
+    /// perturbations. Without a deadline the kept sample is submitted as one
+    /// batch — identical fan-out to the unbudgeted path; with a deadline it is
+    /// evaluated in windows of [`Evaluate::preferred_batch`] with the budget
+    /// checked before each window. When the sample is truncated, the returned
+    /// [`Insights::completeness`] is non-`Exact` (counting the unevaluated
+    /// tail as `pruned`) and every [`AnswerShare`] carries a
+    /// normal-approximation 95% confidence interval for its share.
+    pub fn with_budget<E: Evaluate + ?Sized>(
+        evaluator: &E,
+        perturbations: &[Perturbation],
+        min_confidence: f64,
+        budget: &SearchBudget,
+    ) -> Result<Self, RageError> {
         let k = evaluator.k();
         let llm_calls_before = evaluator.llm_calls();
 
+        // The evaluation cap truncates the deterministic sample to a prefix.
+        let capped: &[Perturbation] = match budget.max_evaluations {
+            Some(cap) if cap < perturbations.len() => &perturbations[..cap],
+            _ => perturbations,
+        };
+
         // Evaluate the sample: (perturbation, normalised answer, surface form).
-        let results = evaluator.evaluate_batch(perturbations);
-        let mut samples: Vec<(&Perturbation, String, String)> =
-            Vec::with_capacity(perturbations.len());
-        for (perturbation, result) in perturbations.iter().zip(results) {
-            let answer = result?.answer;
-            samples.push((perturbation, normalize_answer(&answer), answer));
+        let mut samples: Vec<(&Perturbation, String, String)> = Vec::with_capacity(capped.len());
+        let mut deadline_stop: Option<BudgetStop> = None;
+        if budget.deadline.is_none() {
+            let results = evaluator.evaluate_batch(capped);
+            for (perturbation, result) in capped.iter().zip(results) {
+                let answer = result?.answer;
+                samples.push((perturbation, normalize_answer(&answer), answer));
+            }
+        } else {
+            let window = evaluator.preferred_batch().max(1);
+            let mut next = 0usize;
+            while next < capped.len() {
+                if let Some(stop) = budget.check(next) {
+                    deadline_stop = Some(stop);
+                    break;
+                }
+                let chunk = &capped[next..(next + window).min(capped.len())];
+                let results = evaluator.evaluate_batch(chunk);
+                for (perturbation, result) in chunk.iter().zip(results) {
+                    let answer = result?.answer;
+                    samples.push((perturbation, normalize_answer(&answer), answer));
+                }
+                next += chunk.len();
+            }
         }
         let total = samples.len();
+        let completeness = match deadline_stop {
+            Some(stop) => Completeness::from_stop(stop, total, perturbations.len() - total),
+            None if total < perturbations.len() => Completeness::BudgetTruncated {
+                evaluated: total,
+                pruned: perturbations.len() - total,
+            },
+            None => Completeness::Exact,
+        };
 
         // Distribution.
         let mut counts: BTreeMap<String, (usize, String)> = BTreeMap::new();
@@ -209,6 +295,7 @@ impl Insights {
                 } else {
                     count as f64 / total as f64
                 },
+                interval: None,
             })
             .collect();
         entries.sort_by(|a, b| {
@@ -216,6 +303,13 @@ impl Insights {
                 .cmp(&a.count)
                 .then_with(|| a.normalized.cmp(&b.normalized))
         });
+        if !completeness.is_exact() && total > 0 {
+            // A truncated sample only estimates the full sample's shares:
+            // attach the uncertainty.
+            for entry in &mut entries {
+                entry.interval = Some(ShareInterval::normal_approx(entry.share, total));
+            }
+        }
         let distribution = AnswerDistribution { total, entries };
 
         // Presence and position of each source in each sample.
@@ -331,6 +425,7 @@ impl Insights {
 
         Ok(Insights {
             num_samples: total,
+            completeness,
             distribution,
             table,
             rules,
@@ -515,8 +610,90 @@ mod tests {
         let ev = evaluator();
         let insights = Insights::from_perturbations(&ev, &[]).unwrap();
         assert_eq!(insights.num_samples, 0);
+        assert_eq!(insights.completeness, Completeness::Exact);
         assert!(insights.distribution.top().is_none());
         assert!(insights.rules.is_empty());
         assert_eq!(insights.table.rows.len(), 3);
+    }
+
+    #[test]
+    fn unlimited_budget_reproduces_the_plain_sample() {
+        let combos = all_combinations(3, None);
+        let plain = Insights::from_perturbations(&evaluator(), &combos).unwrap();
+        let budgeted = Insights::with_budget(
+            &evaluator(),
+            &combos,
+            DEFAULT_MIN_CONFIDENCE,
+            &SearchBudget::UNLIMITED,
+        )
+        .unwrap();
+        assert_eq!(budgeted, plain);
+        assert_eq!(budgeted.completeness, Completeness::Exact);
+        assert!(budgeted
+            .distribution
+            .entries
+            .iter()
+            .all(|e| e.interval.is_none()));
+    }
+
+    #[test]
+    fn evaluation_cap_keeps_the_sample_prefix_with_intervals() {
+        let combos = all_combinations(3, None);
+        let insights = Insights::with_budget(
+            &evaluator(),
+            &combos,
+            DEFAULT_MIN_CONFIDENCE,
+            &SearchBudget::max_evaluations(4),
+        )
+        .unwrap();
+        assert_eq!(insights.num_samples, 4);
+        assert_eq!(
+            insights.completeness,
+            Completeness::BudgetTruncated {
+                evaluated: 4,
+                pruned: 3
+            }
+        );
+        // Prefix of the size-ordered subsets: {0}, {1}, {2}, {0,1} → answers
+        // a, b, c, a.
+        assert_eq!(insights.distribution.top().unwrap().normalized, "a");
+        assert_eq!(insights.distribution.top().unwrap().count, 2);
+        for entry in &insights.distribution.entries {
+            let interval = entry.interval.expect("truncated shares carry intervals");
+            assert!(interval.lower <= entry.share && entry.share <= interval.upper);
+            assert!((0.0..=1.0).contains(&interval.lower));
+            assert!((0.0..=1.0).contains(&interval.upper));
+        }
+    }
+
+    #[test]
+    fn expired_deadline_truncates_the_sample() {
+        let combos = all_combinations(3, None);
+        let deadline = crate::budget::Deadline::after_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let insights = Insights::with_budget(
+            &evaluator(),
+            &combos,
+            DEFAULT_MIN_CONFIDENCE,
+            &SearchBudget::UNLIMITED.with_deadline(deadline),
+        )
+        .unwrap();
+        assert_eq!(insights.num_samples, 0);
+        assert!(matches!(
+            insights.completeness,
+            Completeness::DeadlineTruncated { .. }
+        ));
+    }
+
+    #[test]
+    fn share_interval_is_clamped_and_symmetric_inside() {
+        let wide = ShareInterval::normal_approx(0.5, 4);
+        assert!(wide.lower < 0.5 && wide.upper > 0.5);
+        let edge = ShareInterval::normal_approx(1.0, 10);
+        assert_eq!(edge.lower, 1.0);
+        assert_eq!(edge.upper, 1.0);
+        let zero = ShareInterval::normal_approx(0.0, 10);
+        assert_eq!(zero.lower, 0.0);
+        assert_eq!(zero.upper, 0.0);
     }
 }

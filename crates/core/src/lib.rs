@@ -27,6 +27,8 @@
 //! * [`context`] — the retrieved context `Dq` ([`Context`], [`ContextSource`]).
 //! * [`prompt`] — natural-language prompt assembly with delimited sources.
 //! * [`answer`] — answer normalisation (lowercase, strip punctuation, trim).
+//! * [`budget`] — the unified cost-control layer: [`SearchBudget`], monotonic
+//!   [`Deadline`]s and per-search [`Completeness`] markers.
 //! * [`pipeline`] — [`RagPipeline`](pipeline::RagPipeline): retrieval + LLM end to end.
 //! * [`perturbation`] — combination/permutation perturbations and their application.
 //! * [`evaluator`] — cached, counted evaluation of perturbed contexts against the LLM:
@@ -80,6 +82,7 @@
 #![warn(missing_docs)]
 
 pub mod answer;
+pub mod budget;
 pub mod context;
 pub mod counterfactual;
 pub mod error;
@@ -93,6 +96,7 @@ pub mod prompt;
 pub mod scoring;
 
 pub use answer::{answers_equal, normalize_answer};
+pub use budget::{Completeness, Deadline, SearchBudget};
 pub use context::{Context, ContextSource};
 pub use error::RageError;
 pub use evaluator::{CacheStats, Evaluate, Evaluator, ParallelEvaluator};

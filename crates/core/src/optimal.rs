@@ -21,6 +21,7 @@ use rage_assignment::permutations::PermutationIter;
 
 use rage_llm::position_bias::PositionBiasProfile;
 
+use crate::budget::{Completeness, SearchBudget};
 use crate::error::RageError;
 use crate::evaluator::Evaluate;
 use crate::perturbation::Perturbation;
@@ -160,9 +161,27 @@ pub fn ranked_orders<E: Evaluate + ?Sized>(
     config: &OptimalConfig,
     objective: OrderObjective,
 ) -> Result<Vec<OptimalPermutation>, RageError> {
+    ranked_orders_with_budget(evaluator, config, objective, &SearchBudget::UNLIMITED)
+        .map(|(orders, _)| orders)
+}
+
+/// Like [`ranked_orders`] but under a [`SearchBudget`], returning the ranked
+/// prefix it could afford together with a [`Completeness`] marker.
+///
+/// With an unlimited budget the whole ranking is submitted as one evaluation
+/// batch, exactly like [`ranked_orders`]. Under a budget the ranking is
+/// evaluated in windows of [`Evaluate::preferred_batch`], the budget is
+/// checked before each window, and a truncated run returns the best-first (or
+/// worst-first) prefix evaluated so far.
+pub fn ranked_orders_with_budget<E: Evaluate + ?Sized>(
+    evaluator: &E,
+    config: &OptimalConfig,
+    objective: OrderObjective,
+    budget: &SearchBudget,
+) -> Result<(Vec<OptimalPermutation>, Completeness), RageError> {
     let k = evaluator.k();
     if k == 0 || config.num_orders == 0 {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), Completeness::Exact));
     }
     let scores = config.scoring.source_scores(evaluator)?;
     let weights = position_weights(&config.position_bias, k);
@@ -171,14 +190,36 @@ pub fn ranked_orders<E: Evaluate + ?Sized>(
         OrderObjective::Best => k_best_max_assignments(&profits, config.num_orders),
         OrderObjective::Worst => k_best_assignments(&profits, config.num_orders),
     };
+    let scored_orders: Vec<(f64, Vec<usize>)> = assignments
+        .into_iter()
+        .map(|a| (a.total, assignment_to_order(&a.assignment)))
+        .collect();
 
-    evaluate_orders(
-        evaluator,
-        assignments
-            .into_iter()
-            .map(|a| (a.total, assignment_to_order(&a.assignment)))
-            .collect(),
-    )
+    if budget.is_unlimited() {
+        // Single submission — identical batching (and answers) to the
+        // historical unbounded path.
+        return Ok((
+            evaluate_orders(evaluator, scored_orders)?,
+            Completeness::Exact,
+        ));
+    }
+
+    let window = evaluator.preferred_batch().max(1);
+    let mut orders = Vec::with_capacity(scored_orders.len());
+    let mut next = 0usize;
+    while next < scored_orders.len() {
+        if let Some(stop) = budget.check(next) {
+            return Ok((orders, Completeness::from_stop(stop, next, 0)));
+        }
+        let mut end = (next + window).min(scored_orders.len());
+        if let Some(remaining) = budget.remaining(next) {
+            end = end.min(next + remaining);
+        }
+        let chunk: Vec<(f64, Vec<usize>)> = scored_orders[next..end].to_vec();
+        orders.extend(evaluate_orders(evaluator, chunk)?);
+        next = end;
+    }
+    Ok((orders, Completeness::Exact))
 }
 
 /// Convenience wrapper: the top placements ([`OrderObjective::Best`]).
@@ -370,6 +411,52 @@ mod tests {
         // More orders than 3! exist.
         let all = best_orders(&ev, &config().with_num_orders(100)).unwrap();
         assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn budgeted_ranking_matches_the_unlimited_prefix() {
+        let ev = evaluator(4);
+        let cfg = config().with_num_orders(6);
+        let full = ranked_orders(&ev, &cfg, OrderObjective::Best).unwrap();
+        let (capped, marker) = ranked_orders_with_budget(
+            &evaluator(4),
+            &cfg,
+            OrderObjective::Best,
+            &SearchBudget::max_evaluations(2),
+        )
+        .unwrap();
+        assert_eq!(capped.len(), 2);
+        assert_eq!(capped.as_slice(), &full[..2]);
+        assert_eq!(
+            marker,
+            Completeness::BudgetTruncated {
+                evaluated: 2,
+                pruned: 0
+            }
+        );
+
+        // An unlimited budget reproduces the plain ranking exactly.
+        let (all, marker) = ranked_orders_with_budget(
+            &evaluator(4),
+            &cfg,
+            OrderObjective::Best,
+            &SearchBudget::UNLIMITED,
+        )
+        .unwrap();
+        assert_eq!(all, full);
+        assert_eq!(marker, Completeness::Exact);
+    }
+
+    #[test]
+    fn expired_deadline_returns_an_empty_ranking() {
+        let ev = evaluator(3);
+        let deadline = crate::budget::Deadline::after_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let budget = SearchBudget::UNLIMITED.with_deadline(deadline);
+        let (orders, marker) =
+            ranked_orders_with_budget(&ev, &config(), OrderObjective::Best, &budget).unwrap();
+        assert!(orders.is_empty());
+        assert!(matches!(marker, Completeness::DeadlineTruncated { .. }));
     }
 
     #[test]

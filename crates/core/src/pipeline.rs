@@ -212,6 +212,30 @@ impl<R: Retriever> RagPipeline<R> {
         let evaluator = self.evaluator(response.context.clone());
         Ok((response, evaluator))
     }
+
+    /// The anytime end-to-end path: retrieve, answer and assemble a full
+    /// [`RageReport`](crate::explanation::RageReport) under an optional
+    /// wall-clock deadline.
+    ///
+    /// The retrieval round trip and baseline answers always complete (the
+    /// response is never truncated); the deadline bounds the explanation
+    /// searches, whose per-section
+    /// [`Completeness`](crate::budget::Completeness) markers state how far
+    /// each got. With `deadline = None` this is `ask` followed by
+    /// [`RageReport::generate`](crate::explanation::RageReport::generate).
+    pub fn ask_and_report(
+        &self,
+        query: &str,
+        k: usize,
+        config: &crate::explanation::ReportConfig,
+        deadline: Option<crate::budget::Deadline>,
+    ) -> Result<(RagResponse, crate::explanation::RageReport), RageError> {
+        let response = self.ask(query, k)?;
+        let evaluator = self.evaluator(response.context.clone());
+        let report =
+            crate::explanation::RageReport::generate_with_deadline(&evaluator, config, deadline)?;
+        Ok((response, report))
+    }
 }
 
 #[cfg(test)]
@@ -361,6 +385,31 @@ mod tests {
                 .answer(),
             "Roger Federer"
         );
+    }
+
+    #[test]
+    fn ask_and_report_is_the_anytime_round_trip() {
+        let p = pipeline();
+        let config = crate::explanation::ReportConfig::default();
+        let (response, report) = p
+            .ask_and_report("Who holds the most grand slam titles?", 2, &config, None)
+            .unwrap();
+        assert_eq!(report.full_context_answer, response.answer());
+        assert!(report.all_sections_exact());
+
+        // An already-expired deadline still answers, with truncated sections.
+        let deadline = crate::budget::Deadline::after_ms(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let (response, report) = p
+            .ask_and_report(
+                "Who holds the most grand slam titles?",
+                2,
+                &config,
+                Some(deadline),
+            )
+            .unwrap();
+        assert_eq!(report.full_context_answer, response.answer());
+        assert!(!report.all_sections_exact());
     }
 
     #[test]

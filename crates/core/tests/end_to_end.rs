@@ -14,6 +14,7 @@ use rage_core::insights::{random_permutations, Insights};
 use rage_core::optimal::{best_orders, naive_orders, ranked_orders, OptimalConfig, OrderObjective};
 use rage_core::{
     answers_equal, Evaluator, Perturbation, RagPipeline, RageError, RageReport, ScoringMethod,
+    SearchBudget,
 };
 use rage_datasets::synthetic::{ranking_scenario, RankingConfig};
 use rage_datasets::{us_open, Scenario};
@@ -98,7 +99,8 @@ fn us_open_bottom_up_counterfactual_beats_the_prior() {
 fn us_open_reordering_resurfaces_the_stale_champion() {
     let scenario = us_open::scenario();
     let (answer, evaluator) = explain(&scenario);
-    let outcome = find_permutation_counterfactual(&evaluator, Some(200)).unwrap();
+    let outcome =
+        find_permutation_counterfactual(&evaluator, &SearchBudget::max_evaluations(200)).unwrap();
     let cf = outcome.counterfactual.expect("order matters here");
     assert_eq!(cf.baseline_answer, answer);
     assert_eq!(cf.answer, "Iga Swiatek");
@@ -152,7 +154,10 @@ fn synthetic_budget_exhaustion_is_reported() {
     assert_eq!(outcome.stats.candidates, 0);
     assert!(matches!(
         require_combination_counterfactual(&evaluator, &config),
-        Err(RageError::BudgetExhausted { evaluated: 0 })
+        Err(RageError::BudgetExhausted {
+            evaluated: 0,
+            space_exhausted: false
+        })
     ));
 }
 

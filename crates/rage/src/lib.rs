@@ -61,11 +61,13 @@ pub mod prelude {
     };
     pub use rage_core::explanation::ReportConfig;
     pub use rage_core::insights::Insights;
-    pub use rage_core::optimal::{best_orders, naive_orders, worst_orders, OptimalConfig};
+    pub use rage_core::optimal::{
+        best_orders, naive_orders, ranked_orders_with_budget, worst_orders, OptimalConfig,
+    };
     pub use rage_core::scoring::ScoringMethod;
     pub use rage_core::{
-        CacheStats, Context, Evaluate, Evaluator, ParallelEvaluator, Perturbation, RagPipeline,
-        RagResponse, RageError, RageReport,
+        CacheStats, Completeness, Context, Deadline, Evaluate, Evaluator, ParallelEvaluator,
+        Perturbation, RagPipeline, RagResponse, RageError, RageReport, SearchBudget,
     };
     pub use rage_datasets::{Scenario, ScenarioEntry, ScenarioParams, ScenarioRegistry};
     pub use rage_llm::cache::PrefixCache;

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! report --scenario <name> --format <md|json|html> [--out PATH] [--shards N]
+//!        [--anytime MS]
 //! report --list-scenarios
 //! report diff A.json B.json [--format <md|json>]
 //! report smoke
@@ -12,7 +13,12 @@
 //! scenario and renders the result; with `--out` the rendering is written to
 //! a file, otherwise it goes to stdout, and with `--shards N` retrieval runs
 //! through an N-way [`rage_retrieval::ShardedSearcher`] (the report is equal
-//! either way — sharding never changes results). Scenario names come from the
+//! either way — sharding never changes results). `--anytime MS` bounds the
+//! explanation searches by a wall-clock deadline of `MS` milliseconds:
+//! whatever the searches completed is rendered, and sections the deadline cut
+//! short carry explicit non-exact completeness markers (the JSON format's
+//! `completeness` member, the markdown footer's anytime note). Scenario names
+//! come from the
 //! shared [`rage_datasets::ScenarioRegistry`]; `--list-scenarios` prints them
 //! with their one-line summaries. `report diff` decodes two saved JSON
 //! reports and prints their [`rage_report::ReportDiff`]. `report smoke` is
@@ -30,7 +36,8 @@ use rage_report::{diff, from_json, render_html, render_markdown, to_json, Report
 
 fn usage() -> String {
     format!(
-        "usage:\n  report --scenario <{}> --format <md|json|html> [--out PATH] [--shards N]\n  \
+        "usage:\n  report --scenario <{}> --format <md|json|html> [--out PATH] [--shards N] \
+         [--anytime MS]\n  \
          report --list-scenarios\n  \
          report diff <A.json> <B.json> [--format <md|json>]\n  \
          report smoke [--out-dir DIR]\n\
@@ -80,6 +87,7 @@ fn render_scenario(args: &[String]) -> Result<(), String> {
     let mut format = "md".to_string();
     let mut out: Option<String> = None;
     let mut shards: Option<usize> = None;
+    let mut anytime_ms: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -106,6 +114,14 @@ fn render_scenario(args: &[String]) -> Result<(), String> {
                 shards = Some(parsed);
                 i += 2;
             }
+            "--anytime" => {
+                let value = take_value(args, i, "--anytime")?;
+                let parsed: u64 = value.parse().map_err(|_| {
+                    format!("--anytime needs a deadline in milliseconds, got {value:?}")
+                })?;
+                anytime_ms = Some(parsed);
+                i += 2;
+            }
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
@@ -117,7 +133,7 @@ fn render_scenario(args: &[String]) -> Result<(), String> {
     // byte-identical by construction.
     let format = ReportFormat::parse(&format).map_err(|err| err.to_string())?;
     let rendering = Service::new()
-        .render_report(&scenario_name, format, shards)
+        .render_report_with_deadline(&scenario_name, format, shards, anytime_ms)
         .map_err(|err| err.to_string())?;
     write_output(&rendering, out.as_deref())
 }

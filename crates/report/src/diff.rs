@@ -51,6 +51,9 @@ pub struct ReportDiff {
     pub rules_added: Vec<String>,
     /// Insight rules present only in the first report.
     pub rules_removed: Vec<String>,
+    /// Set when one report is exhaustive and the other was truncated by a
+    /// budget or deadline (`before`/`after` are `"exact"` / `"truncated"`).
+    pub completeness_changed: Option<Flip>,
     /// `b.evaluations - a.evaluations`.
     pub evaluations_delta: i64,
     /// `b.llm_calls - a.llm_calls`.
@@ -71,6 +74,7 @@ impl ReportDiff {
             && self.order_sensitivity_changed.is_none()
             && self.rules_added.is_empty()
             && self.rules_removed.is_empty()
+            && self.completeness_changed.is_none()
             && self.evaluations_delta == 0
             && self.llm_calls_delta == 0
     }
@@ -146,6 +150,9 @@ impl ReportDiff {
             }
             md.push('\n');
         }
+        if let Some(flip) = &self.completeness_changed {
+            let _ = writeln!(md, "**Completeness:** {} → {}\n", flip.before, flip.after);
+        }
         if self.evaluations_delta != 0 || self.llm_calls_delta != 0 {
             let _ = writeln!(
                 md,
@@ -197,6 +204,10 @@ impl ReportDiff {
             ),
             ("rules_added".into(), strings(&self.rules_added)),
             ("rules_removed".into(), strings(&self.rules_removed)),
+            (
+                "completeness_changed".into(),
+                flip(&self.completeness_changed),
+            ),
             (
                 "evaluations_delta".into(),
                 JsonValue::Number(self.evaluations_delta as f64),
@@ -257,6 +268,7 @@ pub fn diff(a: &RageReport, b: &RageReport) -> ReportDiff {
             "order-stable"
         }
     };
+    let completeness_label = |exact: bool| if exact { "exact" } else { "truncated" };
 
     ReportDiff {
         question_changed: flip_of(&a.question, &b.question),
@@ -272,6 +284,10 @@ pub fn diff(a: &RageReport, b: &RageReport) -> ReportDiff {
         ),
         rules_added,
         rules_removed,
+        completeness_changed: flip_of(
+            completeness_label(a.all_sections_exact()),
+            completeness_label(b.all_sections_exact()),
+        ),
         evaluations_delta: b.evaluations as i64 - a.evaluations as i64,
         llm_calls_delta: b.llm_calls as i64 - a.llm_calls as i64,
     }

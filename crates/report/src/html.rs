@@ -254,11 +254,33 @@ pub fn render_html(report: &RageReport) -> String {
         html,
         "<section id=\"panel-cost\">\n<h2>Evaluation cost</h2>\n\
          <p><strong>{}</strong> distinct perturbations evaluated, \
-         <strong>{}</strong> LLM inferences paid for.</p>\n\
+         <strong>{}</strong> LLM inferences paid for, permutation budget \
+         <strong>{}</strong>.</p>\n\
          <p class=\"muted\">Cache hits across the report's searches are free; \
-         the gap between the two numbers is sharing.</p>\n</section>\n",
-        report.evaluations, report.llm_calls
+         the gap between the two numbers is sharing.</p>\n",
+        report.evaluations, report.llm_calls, report.permutation_budget
     );
+    if !report.all_sections_exact() {
+        html.push_str("<ul>\n");
+        for (name, marker) in [
+            ("top-down", &report.top_down.completeness),
+            ("bottom-up", &report.bottom_up.completeness),
+            ("permutation", &report.permutation.completeness),
+            ("placements", &report.placements_completeness),
+            ("insights", &report.insights.completeness),
+        ] {
+            if !marker.is_exact() {
+                let _ = writeln!(
+                    html,
+                    "<li class=\"muted\">{}: {}</li>",
+                    name,
+                    html_escape(&marker.describe())
+                );
+            }
+        }
+        html.push_str("</ul>\n");
+    }
+    html.push_str("</section>\n");
 
     html.push_str("</main>\n</body>\n</html>\n");
     html

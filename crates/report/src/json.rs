@@ -9,18 +9,26 @@ use std::fmt;
 
 use rage_core::counterfactual::{
     CombinationCounterfactual, CombinationOutcome, PermutationCounterfactual, PermutationOutcome,
-    SearchStats,
+    SearchStats, DEFAULT_PERMUTATION_BUDGET,
 };
 use rage_core::insights::{
     AnswerDistribution, AnswerShare, FrequencyCell, FrequencyRow, FrequencyTable, Insights,
-    PresenceRule,
+    PresenceRule, ShareInterval,
 };
 use rage_core::optimal::OptimalPermutation;
-use rage_core::{Context, ContextSource, CorpusProvenance, RageReport};
+use rage_core::{Completeness, Context, ContextSource, CorpusProvenance, RageReport};
 use rage_json::JsonValue;
 
-/// The schema version emitted by [`to_json`] and accepted by [`from_json`].
-pub const SCHEMA_VERSION: u64 = 1;
+/// The schema version emitted by [`to_json`].
+///
+/// [`from_json`] accepts both this version and the previous one
+/// ([`MIN_SCHEMA_VERSION`]): v1 documents decode with
+/// [`Completeness`]::`Exact`-or-derived markers and the assumed default
+/// permutation budget (see the crate docs).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// The oldest schema version [`from_json`] still accepts.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// The `"kind"` discriminator emitted by [`to_json`].
 const KIND: &str = "rage-report";
@@ -81,6 +89,58 @@ fn stats_to_json(stats: &SearchStats) -> JsonValue {
         ("candidates", int(stats.candidates)),
         ("llm_calls", int(stats.llm_calls)),
     ])
+}
+
+/// The completeness marker a v1 reader would infer for a combination or
+/// permutation outcome: `Exact` unless the budget flag is set, in which case a
+/// plain budget truncation at the evaluated count.
+fn derived_completeness(exhausted_budget: bool, evaluated: usize) -> Completeness {
+    if exhausted_budget {
+        Completeness::BudgetTruncated {
+            evaluated,
+            pruned: 0,
+        }
+    } else {
+        Completeness::Exact
+    }
+}
+
+/// Whether every completeness marker in the report equals what a v1 reader
+/// derives — true for every exhaustive (non-anytime, non-pruned) report, so
+/// those documents carry no `completeness` member at all.
+fn completeness_is_derivable(report: &RageReport) -> bool {
+    report.top_down.completeness
+        == derived_completeness(
+            report.top_down.exhausted_budget,
+            report.top_down.stats.candidates,
+        )
+        && report.bottom_up.completeness
+            == derived_completeness(
+                report.bottom_up.exhausted_budget,
+                report.bottom_up.stats.candidates,
+            )
+        && report.permutation.completeness
+            == derived_completeness(
+                report.permutation.exhausted_budget,
+                report.permutation.stats.candidates,
+            )
+        && report.placements_completeness == Completeness::Exact
+        && report.insights.completeness == Completeness::Exact
+}
+
+fn completeness_to_json(marker: &Completeness) -> JsonValue {
+    match marker {
+        Completeness::Exact => obj(vec![("kind", s("exact"))]),
+        Completeness::BudgetTruncated { evaluated, pruned } => obj(vec![
+            ("kind", s("budget_truncated")),
+            ("evaluated", int(*evaluated)),
+            ("pruned", int(*pruned)),
+        ]),
+        Completeness::DeadlineTruncated { elapsed_ms } => obj(vec![
+            ("kind", s("deadline_truncated")),
+            ("elapsed_ms", int(*elapsed_ms as usize)),
+        ]),
+    }
 }
 
 fn combination_to_json(outcome: &CombinationOutcome) -> JsonValue {
@@ -146,12 +206,24 @@ fn insights_to_json(insights: &Insights) -> JsonValue {
             .entries
             .iter()
             .map(|e| {
-                obj(vec![
+                let mut members = vec![
                     ("answer", s(&e.answer)),
                     ("normalized", s(&e.normalized)),
                     ("count", int(e.count)),
                     ("share", num(e.share)),
-                ])
+                ];
+                // Optional: only truncated samples carry share intervals, so
+                // exhaustive documents keep the v1 entry shape byte for byte.
+                if let Some(interval) = &e.interval {
+                    members.push((
+                        "interval",
+                        obj(vec![
+                            ("lower", num(interval.lower)),
+                            ("upper", num(interval.upper)),
+                        ]),
+                    ));
+                }
+                obj(members)
             })
             .collect(),
     );
@@ -273,9 +345,40 @@ pub fn to_json(report: &RageReport) -> JsonValue {
             obj(vec![
                 ("evaluations", int(report.evaluations)),
                 ("llm_calls", int(report.llm_calls)),
+                ("permutation_budget", int(report.permutation_budget)),
             ]),
         ),
     ];
+    // Optional member: exhaustive reports have markers a v1 reader can derive
+    // (everything `Exact` or a plain budget stop), so only anytime or pruned
+    // reports carry the explicit per-section completeness block.
+    if !completeness_is_derivable(report) {
+        members.push((
+            "completeness",
+            obj(vec![
+                (
+                    "top_down",
+                    completeness_to_json(&report.top_down.completeness),
+                ),
+                (
+                    "bottom_up",
+                    completeness_to_json(&report.bottom_up.completeness),
+                ),
+                (
+                    "permutation",
+                    completeness_to_json(&report.permutation.completeness),
+                ),
+                (
+                    "placements",
+                    completeness_to_json(&report.placements_completeness),
+                ),
+                (
+                    "insights",
+                    completeness_to_json(&report.insights.completeness),
+                ),
+            ]),
+        ));
+    }
     // Optional member: only reports generated against a versioned corpus carry
     // provenance, so documents from the library path are byte-identical to
     // pre-provenance builds (adding members is backwards-compatible within a
@@ -376,10 +479,15 @@ fn combination_from_json(
             answer: get_str(cf_value, &cf_path, "answer")?,
         })
     };
+    let exhausted_budget = get_bool(value, path, "exhausted_budget")?;
+    let stats = stats_from_json(get(value, path, "stats")?, &format!("{path}.stats"))?;
     Ok(CombinationOutcome {
         counterfactual,
-        exhausted_budget: get_bool(value, path, "exhausted_budget")?,
-        stats: stats_from_json(get(value, path, "stats")?, &format!("{path}.stats"))?,
+        exhausted_budget,
+        // Derived marker; overridden afterwards when the document carries an
+        // explicit top-level `completeness` block.
+        completeness: derived_completeness(exhausted_budget, stats.candidates),
+        stats,
     })
 }
 
@@ -399,10 +507,13 @@ fn permutation_from_json(
             answer: get_str(cf_value, &cf_path, "answer")?,
         })
     };
+    let exhausted_budget = get_bool(value, path, "exhausted_budget")?;
+    let stats = stats_from_json(get(value, path, "stats")?, &format!("{path}.stats"))?;
     Ok(PermutationOutcome {
         counterfactual,
-        exhausted_budget: get_bool(value, path, "exhausted_budget")?,
-        stats: stats_from_json(get(value, path, "stats")?, &format!("{path}.stats"))?,
+        exhausted_budget,
+        completeness: derived_completeness(exhausted_budget, stats.candidates),
+        stats,
     })
 }
 
@@ -434,11 +545,23 @@ fn insights_from_json(value: &JsonValue, path: &str) -> Result<Insights, ReportJ
         .enumerate()
         .map(|(i, item)| {
             let item_path = format!("{dist_path}.entries[{i}]");
+            let interval = match item.get("interval") {
+                None => None,
+                Some(v) if v.is_null() => None,
+                Some(v) => {
+                    let interval_path = format!("{item_path}.interval");
+                    Some(ShareInterval {
+                        lower: get_f64(v, &interval_path, "lower")?,
+                        upper: get_f64(v, &interval_path, "upper")?,
+                    })
+                }
+            };
             Ok(AnswerShare {
                 answer: get_str(item, &item_path, "answer")?,
                 normalized: get_str(item, &item_path, "normalized")?,
                 count: get_usize(item, &item_path, "count")?,
                 share: get_f64(item, &item_path, "share")?,
+                interval,
             })
         })
         .collect::<Result<Vec<_>, ReportJsonError>>()?;
@@ -505,11 +628,34 @@ fn insights_from_json(value: &JsonValue, path: &str) -> Result<Insights, ReportJ
 
     Ok(Insights {
         num_samples: get_usize(value, path, "num_samples")?,
+        // Exact unless the document's top-level `completeness` block says
+        // otherwise (applied by the caller).
+        completeness: Completeness::Exact,
         distribution,
         table: FrequencyTable { rows },
         rules,
         stats: stats_from_json(get(value, path, "stats")?, &format!("{path}.stats"))?,
     })
+}
+
+fn completeness_from_json(value: &JsonValue, path: &str) -> Result<Completeness, ReportJsonError> {
+    let kind = get_str(value, path, "kind")?;
+    match kind.as_str() {
+        "exact" => Ok(Completeness::Exact),
+        "budget_truncated" => Ok(Completeness::BudgetTruncated {
+            evaluated: get_usize(value, path, "evaluated")?,
+            pruned: get_usize(value, path, "pruned")?,
+        }),
+        "deadline_truncated" => Ok(Completeness::DeadlineTruncated {
+            elapsed_ms: get_usize(value, path, "elapsed_ms")? as u64,
+        }),
+        other => Err(ReportJsonError::new(
+            format!("{path}.kind"),
+            format!(
+                "expected \"exact\", \"budget_truncated\" or \"deadline_truncated\", found {other:?}"
+            ),
+        )),
+    }
 }
 
 fn context_from_json(value: &JsonValue, path: &str) -> Result<Context, ReportJsonError> {
@@ -535,14 +681,22 @@ fn context_from_json(value: &JsonValue, path: &str) -> Result<Context, ReportJso
 
 /// Decode a report from its [`to_json`] representation.
 ///
-/// Rejects documents with a missing or unknown `schema_version` (or a wrong
-/// `kind`), and reports the dotted path of the first structural mismatch.
+/// Accepts schema versions [`MIN_SCHEMA_VERSION`]..=[`SCHEMA_VERSION`]: a v1
+/// document (which predates completeness markers, share intervals and the
+/// recorded permutation budget) decodes with markers derived from its budget
+/// flags — `Exact` everywhere a search finished — and the permutation budget
+/// reconstructed as the evaluated count when the budget was exhausted, else
+/// the engine default. Rejects documents with a missing or unknown
+/// `schema_version` (or a wrong `kind`), and reports the dotted path of the
+/// first structural mismatch.
 pub fn from_json(value: &JsonValue) -> Result<RageReport, ReportJsonError> {
     let version = get_usize(value, "$", "schema_version")?;
-    if version != SCHEMA_VERSION as usize {
+    if !(MIN_SCHEMA_VERSION as usize..=SCHEMA_VERSION as usize).contains(&version) {
         return Err(ReportJsonError::new(
             "$.schema_version",
-            format!("unsupported schema version {version} (this build reads {SCHEMA_VERSION})"),
+            format!(
+                "unsupported schema version {version} (this build reads {MIN_SCHEMA_VERSION} through {SCHEMA_VERSION})"
+            ),
         ));
     }
     let kind = get_str(value, "$", "kind")?;
@@ -567,7 +721,21 @@ pub fn from_json(value: &JsonValue) -> Result<RageReport, ReportJsonError> {
         })
         .collect::<Result<Vec<_>, ReportJsonError>>()?;
 
-    Ok(RageReport {
+    let permutation = permutation_from_json(get(value, "$", "permutation")?, "$.permutation")?;
+    let permutation_budget = if version == MIN_SCHEMA_VERSION as usize {
+        // v1 documents never recorded the bound. When the search exhausted its
+        // budget the evaluated count *is* the bound; otherwise assume the
+        // engine default (documented approximation of the v1 era).
+        if permutation.exhausted_budget {
+            permutation.stats.candidates
+        } else {
+            DEFAULT_PERMUTATION_BUDGET
+        }
+    } else {
+        get_usize(cost, "$.cost", "permutation_budget")?
+    };
+
+    let mut report = RageReport {
         question: get_str(value, "$", "question")?,
         context: context_from_json(get(value, "$", "context")?, "$.context")?,
         full_context_answer: get_str(answers, "$.answers", "full_context")?,
@@ -581,14 +749,42 @@ pub fn from_json(value: &JsonValue) -> Result<RageReport, ReportJsonError> {
             get(counterfactuals, "$.counterfactuals", "bottom_up")?,
             "$.counterfactuals.bottom_up",
         )?,
-        permutation: permutation_from_json(get(value, "$", "permutation")?, "$.permutation")?,
+        permutation,
+        permutation_budget,
         best_orders: orders_from_json(value, "$", "best_orders")?,
         worst_orders: orders_from_json(value, "$", "worst_orders")?,
+        placements_completeness: Completeness::Exact,
         insights: insights_from_json(get(value, "$", "insights")?, "$.insights")?,
         evaluations: get_usize(cost, "$.cost", "evaluations")?,
         llm_calls: get_usize(cost, "$.cost", "llm_calls")?,
         corpus: corpus_from_json(value)?,
-    })
+    };
+
+    // The optional explicit completeness block (anytime/pruned reports)
+    // overrides the derived markers.
+    if let Some(block) = value.get("completeness") {
+        report.top_down.completeness = completeness_from_json(
+            get(block, "$.completeness", "top_down")?,
+            "$.completeness.top_down",
+        )?;
+        report.bottom_up.completeness = completeness_from_json(
+            get(block, "$.completeness", "bottom_up")?,
+            "$.completeness.bottom_up",
+        )?;
+        report.permutation.completeness = completeness_from_json(
+            get(block, "$.completeness", "permutation")?,
+            "$.completeness.permutation",
+        )?;
+        report.placements_completeness = completeness_from_json(
+            get(block, "$.completeness", "placements")?,
+            "$.completeness.placements",
+        )?;
+        report.insights.completeness = completeness_from_json(
+            get(block, "$.completeness", "insights")?,
+            "$.completeness.insights",
+        )?;
+    }
+    Ok(report)
 }
 
 /// The optional `corpus` provenance member: absent means `None`.
@@ -621,7 +817,7 @@ mod tests {
     #[test]
     fn json_has_version_and_every_panel() {
         let value = to_json(&report());
-        assert_eq!(value.get("schema_version"), Some(&JsonValue::Number(1.0)));
+        assert_eq!(value.get("schema_version"), Some(&JsonValue::Number(2.0)));
         assert_eq!(
             value.get("kind").and_then(JsonValue::as_str),
             Some("rage-report")
@@ -680,6 +876,97 @@ mod tests {
         assert_eq!(decoded, stamped);
         let reparsed = JsonValue::parse(&value.render()).unwrap();
         assert_eq!(reparsed, value);
+    }
+
+    #[test]
+    fn exact_reports_omit_the_completeness_block() {
+        let value = to_json(&report());
+        assert!(
+            value.get("completeness").is_none(),
+            "derivable markers must not be spelled out"
+        );
+        // v2 always records the effective permutation budget in the cost
+        // panel (128 is the default ReportConfig's explicit budget).
+        assert_eq!(
+            value
+                .get("cost")
+                .and_then(|c| c.get("permutation_budget"))
+                .and_then(JsonValue::as_f64),
+            Some(128.0)
+        );
+    }
+
+    #[test]
+    fn truncated_markers_and_intervals_round_trip() {
+        let mut truncated = report();
+        truncated.top_down.completeness = Completeness::BudgetTruncated {
+            evaluated: 0,
+            pruned: 31,
+        };
+        truncated.placements_completeness = Completeness::DeadlineTruncated { elapsed_ms: 52 };
+        truncated.insights.completeness = Completeness::BudgetTruncated {
+            evaluated: 40,
+            pruned: 10,
+        };
+        for entry in &mut truncated.insights.distribution.entries {
+            entry.interval = Some(ShareInterval::normal_approx(entry.share, 40));
+        }
+
+        let value = to_json(&truncated);
+        let block = value.get("completeness").expect("markers are inexact");
+        assert_eq!(
+            block
+                .get("top_down")
+                .and_then(|m| m.get("kind"))
+                .and_then(JsonValue::as_str),
+            Some("budget_truncated")
+        );
+        assert_eq!(
+            block
+                .get("placements")
+                .and_then(|m| m.get("elapsed_ms"))
+                .and_then(JsonValue::as_f64),
+            Some(52.0)
+        );
+        assert_eq!(
+            block
+                .get("permutation")
+                .and_then(|m| m.get("kind"))
+                .and_then(JsonValue::as_str),
+            Some("exact")
+        );
+
+        let decoded = from_json(&value).unwrap();
+        assert_eq!(decoded, truncated);
+        // And the rendered text reparses to the same value (full fidelity).
+        let reparsed = JsonValue::parse(&value.render()).unwrap();
+        assert_eq!(from_json(&reparsed).unwrap(), truncated);
+    }
+
+    #[test]
+    fn unknown_completeness_kind_fails_with_a_dotted_path() {
+        let mut truncated = report();
+        truncated.placements_completeness = Completeness::DeadlineTruncated { elapsed_ms: 1 };
+        let mut value = to_json(&truncated);
+        if let JsonValue::Object(members) = &mut value {
+            for (key, v) in members.iter_mut() {
+                if key == "completeness" {
+                    if let JsonValue::Object(block) = v {
+                        for (name, marker) in block.iter_mut() {
+                            if name == "insights" {
+                                *marker = JsonValue::Object(vec![(
+                                    "kind".into(),
+                                    JsonValue::String("partial".into()),
+                                )]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = from_json(&value).unwrap_err();
+        assert_eq!(err.path, "$.completeness.insights.kind");
+        assert!(err.message.contains("partial"), "{}", err.message);
     }
 
     #[test]

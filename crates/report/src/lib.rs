@@ -18,16 +18,16 @@
 //! (answer flips, citation-set deltas, rule churn, evaluation-cost deltas)
 //! with markdown and JSON renderings of its own.
 //!
-//! ## JSON schema (version 1)
+//! ## JSON schema (version 2)
 //!
-//! [`to_json`] emits one object with `"schema_version": 1` and
+//! [`to_json`] emits one object with `"schema_version": 2` and
 //! `"kind": "rage-report"`. All numbers are JSON numbers (integers render
 //! without a decimal point); every field of the in-memory [`RageReport`] is
 //! covered, so `from_json(to_json(r)) == r` exactly:
 //!
 //! ```text
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "kind": "rage-report",
 //!   "question": str,
 //!   "answers": {"full_context": str, "empty_context": str},
@@ -50,7 +50,8 @@
 //!   "insights": {
 //!     "num_samples": int,
 //!     "distribution": {"total": int, "entries": [
-//!         {"answer": str, "normalized": str, "count": int, "share": num}]},
+//!         {"answer": str, "normalized": str, "count": int, "share": num,
+//!          "interval"?: {"lower": num, "upper": num}}]},
 //!     "table": {"rows": [{"source": int, "doc_id": str, "present_in": int,
 //!         "cells": [{"answer": str, "present": int, "out_of": int,
 //!                    "mean_position": num | null}]}]},
@@ -58,13 +59,34 @@
 //!                "support": num, "confidence": num}],
 //!     "stats": {"candidates": int, "llm_calls": int}
 //!   },
-//!   "cost": {"evaluations": int, "llm_calls": int}
+//!   "cost": {"evaluations": int, "llm_calls": int, "permutation_budget": int},
+//!   "completeness"?: {                  // only when any section is inexact
+//!     "top_down":    <marker>, "bottom_up": <marker>,
+//!     "permutation": <marker>, "placements": <marker>, "insights": <marker>
+//!   }
 //! }
+//!
+//! <marker> := {"kind": "exact"}
+//!           | {"kind": "budget_truncated", "evaluated": int, "pruned": int}
+//!           | {"kind": "deadline_truncated", "elapsed_ms": int}
 //! ```
+//!
+//! Version 2 adds to version 1: `cost.permutation_budget` (the effective
+//! permutation search budget), per-entry `interval` confidence bounds on the
+//! insights distribution when the sample was truncated, and the optional
+//! top-level `completeness` block carrying each section's
+//! [`rage_core::Completeness`] marker when an anytime deadline or pruning
+//! made any section inexact. Exhaustive (default) reports omit the block —
+//! their markers are derivable from each section's `exhausted_budget` flag,
+//! which is how v1 documents decode: [`from_json`] still accepts
+//! `schema_version: 1`, deriving `Exact` markers everywhere, empty intervals,
+//! and reconstructing the permutation budget from the evaluated count (when
+//! the budget was exhausted) or the engine default.
 //!
 //! The version is bumped whenever a field is renamed, removed or changes
 //! meaning; adding fields is backwards-compatible within a version.
-//! [`from_json`] rejects documents whose `schema_version` it does not know.
+//! [`from_json`] rejects documents whose `schema_version` is outside
+//! `[MIN_SCHEMA_VERSION, SCHEMA_VERSION]`.
 //!
 //! ## Command line
 //!
@@ -73,7 +95,7 @@
 //!
 //! ```text
 //! report --scenario <name> --format <md|json|html> \
-//!        [--out PATH] [--shards N]               # render one scenario
+//!        [--out PATH] [--shards N] [--anytime MS] # render one scenario
 //! report --list-scenarios                        # registry names + summaries
 //! report diff A.json B.json [--format <md|json>] # compare two saved reports
 //! report smoke                                   # whole registry × formats +
@@ -82,7 +104,9 @@
 //!
 //! `--shards N` retrieves through an N-way sharded index; the rendered report
 //! is equal to the single-index one for every shard count (pinned by
-//! `tests/sharded.rs`).
+//! `tests/sharded.rs`). `--anytime MS` bounds the whole explanation by a
+//! wall-clock deadline; truncated sections carry non-`Exact` completeness
+//! markers in the rendered output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -100,7 +124,7 @@ pub mod service;
 
 pub use diff::{diff, ReportDiff};
 pub use html::render_html;
-pub use json::{from_json, to_json, ReportJsonError, SCHEMA_VERSION};
+pub use json::{from_json, to_json, ReportJsonError, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
 pub use service::{ReportCacheStats, ReportFormat, Service, ServiceError, MAX_SHARDS};
 // Re-exported so Service callers (the HTTP server above all) can build the
 // documents they feed the corpus-mutation API without a direct dependency on
@@ -309,9 +333,25 @@ pub fn render_markdown(report: &RageReport) -> String {
 
     let _ = writeln!(
         md,
-        "---\n\n*{} distinct perturbations evaluated, {} LLM inferences.*",
-        report.evaluations, report.llm_calls
+        "---\n\n*{} distinct perturbations evaluated, {} LLM inferences, \
+         permutation budget {}.*",
+        report.evaluations, report.llm_calls, report.permutation_budget
     );
+    if !report.all_sections_exact() {
+        let mut notes = Vec::new();
+        for (name, marker) in [
+            ("top-down", &report.top_down.completeness),
+            ("bottom-up", &report.bottom_up.completeness),
+            ("permutation", &report.permutation.completeness),
+            ("placements", &report.placements_completeness),
+            ("insights", &report.insights.completeness),
+        ] {
+            if !marker.is_exact() {
+                notes.push(format!("{name}: {}", marker.describe()));
+            }
+        }
+        let _ = writeln!(md, "\n*Truncated sections — {}.*", notes.join("; "));
+    }
     md
 }
 

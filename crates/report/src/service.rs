@@ -26,10 +26,12 @@
 //!   [`scenarios::report_for`] oracle.
 //! * **Report cache** — full [`RageReport`]s are memoised behind `Arc` under
 //!   a [`ReportKey`] of `(scenario, report-config fingerprint, shards,
-//!   schema_version, corpus_version)`. Reports are deterministic *given a
-//!   corpus version*, so a cached report is exactly what regeneration would
-//!   produce; the schema version is part of the key so a future v2 can never
-//!   serve v1 cache entries.
+//!   schema_version, corpus_version, deadline_ms)`. Reports are deterministic
+//!   *given a corpus version*, so a cached report is exactly what
+//!   regeneration would produce; the schema version is part of the key so a
+//!   future v3 can never serve v2 cache entries, and the anytime deadline is
+//!   part of the key so deadline-truncated reports can never poison the
+//!   exact cache.
 //! * **Error taxonomy** — [`ServiceError`] splits caller mistakes (unknown
 //!   scenario/format, invalid `k` or shard count, unanswerable query,
 //!   duplicate document id) from engine failures, so transports can map them
@@ -76,7 +78,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use rage_core::explanation::ReportConfig;
-use rage_core::{CorpusProvenance, RagPipeline, RagResponse, RageError, RageReport};
+use rage_core::{CorpusProvenance, Deadline, RagPipeline, RagResponse, RageError, RageReport};
 use rage_datasets::{Scenario, ScenarioRegistry};
 use rage_llm::cache::PrefixCache;
 use rage_llm::model::{SimLlm, SimLlmConfig};
@@ -326,7 +328,10 @@ struct ScenarioRuntime {
 /// `schema_version` pins the structured format (bumping the schema can never
 /// serve stale cache entries), and `corpus_version` pins the corpus content:
 /// a mutation changes the key, so a report generated before the mutation can
-/// never be served after it.
+/// never be served after it. `deadline_ms` keys anytime requests separately —
+/// a deadline-truncated report can never be served where the exhaustive one
+/// was asked for (or vice versa), so anytime traffic cannot poison the exact
+/// cache.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct ReportKey {
     scenario: String,
@@ -334,6 +339,7 @@ struct ReportKey {
     shards: usize, // 0 = single index
     schema_version: u64,
     corpus_version: u64,
+    deadline_ms: Option<u64>,
 }
 
 /// Lock a cache map, recovering from poisoning.
@@ -492,27 +498,37 @@ impl Service {
         Ok(Arc::clone(map.entry(key).or_insert(runtime)))
     }
 
-    fn report_key(&self, canonical: &str, shard_count: usize, corpus_version: u64) -> ReportKey {
+    fn report_key(
+        &self,
+        canonical: &str,
+        shard_count: usize,
+        corpus_version: u64,
+        deadline_ms: Option<u64>,
+    ) -> ReportKey {
         ReportKey {
             scenario: canonical.to_string(),
             params: format!("{:?}", self.config),
             shards: shard_count,
             schema_version: SCHEMA_VERSION,
             corpus_version,
+            deadline_ms,
         }
     }
 
     /// Generate a report through a runtime and stamp it with the corpus
-    /// provenance it was generated against.
+    /// provenance it was generated against. With a deadline the clock starts
+    /// here, covering exactly the explanation searches.
     fn generate(
         &self,
         runtime: &ScenarioRuntime,
         provenance: CorpusProvenance,
+        deadline_ms: Option<u64>,
     ) -> Result<Arc<RageReport>, ServiceError> {
         let (_, evaluator) = runtime
             .pipeline
             .ask_and_explain(&runtime.question, runtime.retrieval_k)?;
-        let mut report = RageReport::generate(&evaluator, &self.config)?;
+        let deadline = deadline_ms.map(Deadline::after_ms);
+        let mut report = RageReport::generate_with_deadline(&evaluator, &self.config, deadline)?;
         report.corpus = Some(provenance);
         Ok(Arc::new(report))
     }
@@ -530,6 +546,23 @@ impl Service {
         name: &str,
         shards: Option<usize>,
     ) -> Result<Arc<RageReport>, ServiceError> {
+        self.report_with_deadline(name, shards, None)
+    }
+
+    /// An anytime report: like [`Service::report`], but every explanation
+    /// search is bounded by `deadline_ms` of wall clock (measured from the
+    /// start of generation); sections the deadline cuts short carry
+    /// non-`Exact` [`rage_core::Completeness`] markers.
+    ///
+    /// The deadline is part of the cache key, so anytime reports are memoised
+    /// separately per requested deadline and can never displace (or be served
+    /// in place of) the exhaustive report.
+    pub fn report_with_deadline(
+        &self,
+        name: &str,
+        shards: Option<usize>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Arc<RageReport>, ServiceError> {
         let canonical = self.canonical_name(name)?;
         let shard_count = validate_shards(shards)?;
         let state_arc = self.corpus_state(canonical);
@@ -537,7 +570,7 @@ impl Service {
         loop {
             attempts += 1;
             let provenance = lock_unpoisoned(&state_arc).provenance();
-            let key = self.report_key(canonical, shard_count, provenance.version);
+            let key = self.report_key(canonical, shard_count, provenance.version, deadline_ms);
             if let Some(report) = lock_unpoisoned(&self.reports).get(&key) {
                 self.report_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(report));
@@ -550,8 +583,8 @@ impl Service {
                 // request forever. Mutations queue behind the lock (~100ms).
                 let state = lock_unpoisoned(&state_arc);
                 let provenance = state.provenance();
-                let report = self.generate(&runtime, provenance)?;
-                let key = self.report_key(canonical, shard_count, provenance.version);
+                let report = self.generate(&runtime, provenance, deadline_ms)?;
+                let key = self.report_key(canonical, shard_count, provenance.version, deadline_ms);
                 let mut map = lock_unpoisoned(&self.reports);
                 return Ok(Arc::clone(map.entry(key).or_insert(report)));
             }
@@ -559,7 +592,7 @@ impl Service {
             // only if the corpus did not move underneath the generation —
             // otherwise the report describes a corpus that no longer exists
             // and is regenerated against the new version.
-            let report = self.generate(&runtime, provenance)?;
+            let report = self.generate(&runtime, provenance, deadline_ms)?;
             let state = lock_unpoisoned(&state_arc);
             if state.version == provenance.version {
                 drop(state);
@@ -579,7 +612,19 @@ impl Service {
         format: ReportFormat,
         shards: Option<usize>,
     ) -> Result<String, ServiceError> {
-        let report = self.report(name, shards)?;
+        self.render_report_with_deadline(name, format, shards, None)
+    }
+
+    /// Render a scenario's report, optionally bounded by an anytime deadline
+    /// (see [`Service::report_with_deadline`]).
+    pub fn render_report_with_deadline(
+        &self,
+        name: &str,
+        format: ReportFormat,
+        shards: Option<usize>,
+        deadline_ms: Option<u64>,
+    ) -> Result<String, ServiceError> {
+        let report = self.report_with_deadline(name, shards, deadline_ms)?;
         Ok(match format {
             ReportFormat::Markdown => render_markdown(&report),
             ReportFormat::Json => to_json(&report).render(),
@@ -798,7 +843,7 @@ impl Service {
         if version == current {
             return self.report(canonical, shards);
         }
-        let key = self.report_key(canonical, shard_count, version);
+        let key = self.report_key(canonical, shard_count, version, None);
         lock_unpoisoned(&self.reports)
             .get(&key)
             .map(Arc::clone)
@@ -1301,6 +1346,41 @@ mod tests {
             .ask("us_open", "quantum chromodynamics flux capacitor", None)
             .unwrap_err();
         assert_eq!(err.kind(), ErrorKind::NoResults);
+    }
+
+    #[test]
+    fn anytime_reports_are_cached_apart_from_exact_ones() {
+        let service = Service::new();
+        let exact = service.report("us_open", None).unwrap();
+        assert!(exact.all_sections_exact());
+
+        // A zero deadline is already expired when generation starts: the
+        // report still comes back (bounded), explicitly marked inexact.
+        let anytime = service
+            .report_with_deadline("us_open", None, Some(0))
+            .unwrap();
+        assert!(!anytime.all_sections_exact());
+        assert!(!Arc::ptr_eq(&exact, &anytime));
+
+        // Neither request displaced the other's cache entry.
+        let exact_again = service.report("us_open", None).unwrap();
+        assert!(Arc::ptr_eq(&exact, &exact_again));
+        assert!(exact_again.all_sections_exact());
+        let anytime_again = service
+            .report_with_deadline("us_open", None, Some(0))
+            .unwrap();
+        assert!(Arc::ptr_eq(&anytime, &anytime_again));
+
+        // A generous deadline completes every search and matches the exact
+        // report section for section.
+        let generous = service
+            .report_with_deadline("us_open", None, Some(600_000))
+            .unwrap();
+        assert!(generous.all_sections_exact());
+        assert_eq!(
+            generous.full_context_answer, exact.full_context_answer,
+            "a deadline that never fires must not change the answer"
+        );
     }
 
     #[test]

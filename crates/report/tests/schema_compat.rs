@@ -1,0 +1,86 @@
+//! Schema v1 → v2 compatibility: the committed v1 fixture (the pre-bump
+//! `us_open` golden snapshot, byte-for-byte) must keep decoding forever —
+//! with `Exact` completeness everywhere, no intervals, and a reconstructed
+//! permutation budget — and must diff cleanly against the current v2 golden
+//! of the same scenario.
+
+use rage_core::Completeness;
+use rage_json::JsonValue;
+use rage_report::{diff, from_json, to_json, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
+
+const V1_FIXTURE: &str = include_str!("fixtures/us_open.v1.json");
+const V2_GOLDEN: &str = include_str!("snapshots/us_open.json");
+
+fn decode(raw: &str) -> rage_core::RageReport {
+    from_json(&JsonValue::parse(raw).expect("fixture parses")).expect("fixture decodes")
+}
+
+#[test]
+fn the_version_range_is_what_the_fixture_pins() {
+    assert_eq!(MIN_SCHEMA_VERSION, 1);
+    assert_eq!(SCHEMA_VERSION, 2);
+    let value = JsonValue::parse(V1_FIXTURE).unwrap();
+    assert_eq!(value.get("schema_version"), Some(&JsonValue::Number(1.0)));
+}
+
+#[test]
+fn v1_documents_decode_with_exact_completeness_everywhere() {
+    let report = decode(V1_FIXTURE);
+    assert!(report.all_sections_exact());
+    assert_eq!(report.top_down.completeness, Completeness::Exact);
+    assert_eq!(report.bottom_up.completeness, Completeness::Exact);
+    assert_eq!(report.permutation.completeness, Completeness::Exact);
+    assert_eq!(report.placements_completeness, Completeness::Exact);
+    assert_eq!(report.insights.completeness, Completeness::Exact);
+    // v1 never carried confidence intervals.
+    for entry in &report.insights.distribution.entries {
+        assert!(entry.interval.is_none());
+    }
+    // The fixture's permutation search finished under budget, so the budget
+    // itself is unrecoverable from v1 — the decoder assumes the engine
+    // default.
+    assert!(!report.permutation.exhausted_budget);
+    assert_eq!(
+        report.permutation_budget,
+        rage_core::counterfactual::DEFAULT_PERMUTATION_BUDGET
+    );
+    // The substantive content survives the version gap.
+    assert_eq!(report.full_context_answer, "Coco Gauff");
+    assert_eq!(report.citations(), vec!["us-open-2023"]);
+}
+
+#[test]
+fn v1_decodes_re_encode_as_v2() {
+    let report = decode(V1_FIXTURE);
+    let value = to_json(&report);
+    assert_eq!(value.get("schema_version"), Some(&JsonValue::Number(2.0)));
+    // An exact report spells no completeness block even after the upgrade.
+    assert!(value.get("completeness").is_none());
+    // And the upgraded document round-trips exactly from here on.
+    assert_eq!(from_json(&value).unwrap(), report);
+}
+
+#[test]
+fn diff_spans_the_version_gap() {
+    let v1 = decode(V1_FIXTURE);
+    let v2 = decode(V2_GOLDEN);
+    let d = diff(&v1, &v2);
+    // Same scenario, same engine: everything the diff inspects agrees. (The
+    // v1-reconstructed permutation budget is not a diffed dimension.)
+    assert!(d.is_empty(), "{}", d.render_markdown());
+    assert!(d.completeness_changed.is_none());
+}
+
+#[test]
+fn unknown_versions_keep_failing_with_a_dotted_path() {
+    for version in ["0", "3", "99"] {
+        let raw = V1_FIXTURE.replacen(
+            "\"schema_version\":1",
+            &format!("\"schema_version\":{version}"),
+            1,
+        );
+        let err = from_json(&JsonValue::parse(&raw).unwrap()).unwrap_err();
+        assert_eq!(err.path, "$.schema_version");
+        assert!(err.message.contains(version), "{}", err.message);
+    }
+}

@@ -15,9 +15,9 @@
 //! |---------------------|------------------------------------------------------|
 //! | `GET /`             | HTML index: every scenario, linked to its HTML view  |
 //! | `GET /scenarios`    | JSON list of registry scenarios (name + summary)     |
-//! | `GET /report?scenario=S[&format=md\|json\|html][&shards=N]` | one rendered explanation report (default `json`); the `html` format is the self-contained interactive page |
-//! | `POST /ask`         | JSON body `{"scenario": S, "query": Q[, "k": N]}` — one RAG round trip over the scenario's corpus |
-//! | `POST /diff`        | JSON body `{"a": <report>, "b": <report>}` (two schema-v1 report documents) — their [`rage_report::ReportDiff`] |
+//! | `GET /report?scenario=S[&format=md\|json\|html][&shards=N][&deadline_ms=MS]` | one rendered explanation report (default `json`); the `html` format is the self-contained interactive page; `deadline_ms` serves an *anytime* report whose searches stop at the wall-clock deadline, with explicit completeness markers on truncated sections |
+//! | `POST /ask`         | JSON body `{"scenario": S, "query": Q[, "k": N][, "deadline_ms": MS]}` — one RAG round trip over the scenario's corpus; with `deadline_ms` the caller waits at most that long before a 408 |
+//! | `POST /diff`        | JSON body `{"a": <report>, "b": <report>}` (two report documents, schema v1 or v2) — their [`rage_report::ReportDiff`] |
 //! | `GET /diff?scenario=S&from=N&to=N[&shards=N]` | diff the scenario's reports at two corpus versions (the `to` side may be the live version; older sides come from the service's bounded version cache) |
 //! | `POST /corpus/docs` | JSON body `{"scenario": S, "doc": {"id", "text"[, "title"][, "fields"]}[, "mode": "add"\|"update"\|"upsert"]}` — mutate the scenario's live corpus; answers the new corpus provenance |
 //! | `DELETE /corpus/docs/{id}?scenario=S` | remove one document from the scenario's live corpus |
@@ -215,6 +215,20 @@ impl AskBatcher {
         query: &str,
         k: Option<usize>,
     ) -> Result<RagResponse, (u16, String)> {
+        self.submit_with_deadline(scenario, query, k, None)
+    }
+
+    /// Like [`AskBatcher::submit`], but wait at most `deadline_ms` for the
+    /// answer: past the deadline the caller gets a 408 and moves on, while
+    /// the batch keeps running (its result still warms the shared caches —
+    /// abandoning the wait never corrupts dispatcher state).
+    pub fn submit_with_deadline(
+        &self,
+        scenario: &str,
+        query: &str,
+        k: Option<usize>,
+        deadline_ms: Option<u64>,
+    ) -> Result<RagResponse, (u16, String)> {
         let (reply_tx, reply_rx) = mpsc::channel();
         {
             let mut queue = self.queue.lock().expect("ask queue lock");
@@ -227,9 +241,21 @@ impl AskBatcher {
             self.requests.fetch_add(1, Ordering::Relaxed);
         }
         self.signal.notify_all();
-        reply_rx
-            .recv()
-            .unwrap_or_else(|_| Err((500, "ask dispatcher unavailable".to_string())))
+        match deadline_ms {
+            None => reply_rx
+                .recv()
+                .unwrap_or_else(|_| Err((500, "ask dispatcher unavailable".to_string()))),
+            Some(ms) => match reply_rx.recv_timeout(Duration::from_millis(ms)) {
+                Ok(reply) => reply,
+                Err(mpsc::RecvTimeoutError::Timeout) => Err((
+                    408,
+                    format!("ask did not complete within the {ms} ms deadline"),
+                )),
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    Err((500, "ask dispatcher unavailable".to_string()))
+                }
+            },
+        }
     }
 
     /// Queue counters so far.
@@ -635,7 +661,7 @@ fn scenarios_json(service: &Service) -> HttpResponse {
     HttpResponse::ok("application/json", doc.render())
 }
 
-/// `GET /report?scenario=S[&format=F][&shards=N]`.
+/// `GET /report?scenario=S[&format=F][&shards=N][&deadline_ms=MS]`.
 fn report_endpoint(request: &HttpRequest, service: &Service) -> HttpResponse {
     let Some(scenario) = request.query_param("scenario") else {
         return HttpResponse::error(400, "missing required query parameter: scenario");
@@ -651,13 +677,25 @@ fn report_endpoint(request: &HttpRequest, service: &Service) -> HttpResponse {
             Err(_) => return HttpResponse::error(400, "shards must be a non-negative integer"),
         },
     };
-    match service.render_report(scenario, format, shards) {
+    let deadline_ms = match request.query_param("deadline_ms") {
+        None => None,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => Some(ms),
+            Err(_) => {
+                return HttpResponse::error(
+                    400,
+                    "deadline_ms must be a non-negative integer of milliseconds",
+                )
+            }
+        },
+    };
+    match service.render_report_with_deadline(scenario, format, shards, deadline_ms) {
         Ok(rendering) => HttpResponse::ok(format.content_type(), rendering),
         Err(err) => service_error_response(&err),
     }
 }
 
-/// `POST /ask` — body `{"scenario": S, "query": Q[, "k": N]}`.
+/// `POST /ask` — body `{"scenario": S, "query": Q[, "k": N][, "deadline_ms": MS]}`.
 fn ask_endpoint(request: &HttpRequest, batcher: &AskBatcher) -> HttpResponse {
     let body = match std::str::from_utf8(&request.body) {
         Ok(text) => text,
@@ -680,8 +718,20 @@ fn ask_endpoint(request: &HttpRequest, batcher: &AskBatcher) -> HttpResponse {
             None => return HttpResponse::error(400, "\"k\" must be a non-negative integer"),
         },
     };
+    let deadline_ms = match value.get("deadline_ms") {
+        None => None,
+        Some(raw) => match raw.as_usize() {
+            Some(ms) => Some(ms as u64),
+            None => {
+                return HttpResponse::error(
+                    400,
+                    "\"deadline_ms\" must be a non-negative integer of milliseconds",
+                )
+            }
+        },
+    };
 
-    match batcher.submit(scenario, query, k) {
+    match batcher.submit_with_deadline(scenario, query, k, deadline_ms) {
         Ok(response) => {
             let sources = response
                 .context

@@ -698,3 +698,106 @@ fn stats_reflect_the_report_cache() {
     assert_eq!(cache.get("misses").and_then(JsonValue::as_usize), Some(1));
     assert!(cache.get("hits").and_then(JsonValue::as_usize).unwrap() >= 1);
 }
+
+/// `deadline_ms=` turns `/report` into an anytime request: a pre-expired
+/// deadline still answers 200 with an explicit `completeness` block, the
+/// exact report stays byte-identical before and after the anytime traffic
+/// (the caches are keyed apart), and a malformed deadline is the caller's
+/// fault, not the server's.
+#[test]
+fn report_deadlines_bound_work_without_poisoning_the_exact_cache() {
+    let server = start_server();
+
+    // Exact first, so the exact cache is warm before any anytime request.
+    let (status, _, exact_before) = get(&server, "/report?scenario=us_open&format=json");
+    assert_eq!(status, 200);
+
+    // A deadline that expired before the searches even started: still a 200,
+    // and the document says out loud which sections were cut short.
+    let (status, head, body) = get(
+        &server,
+        "/report?scenario=us_open&format=json&deadline_ms=0",
+    );
+    assert_eq!(status, 200, "{head}");
+    let doc = JsonValue::parse(std::str::from_utf8(&body).unwrap()).expect("anytime JSON parses");
+    let block = doc
+        .get("completeness")
+        .expect("pre-expired deadline must surface a completeness block");
+    let kind = block
+        .get("top_down")
+        .and_then(|m| m.get("kind"))
+        .and_then(JsonValue::as_str);
+    assert_eq!(kind, Some("deadline_truncated"));
+
+    // A generous deadline completes everything: no completeness block, and
+    // the bytes match the exhaustive rendering exactly.
+    let (status, _, relaxed) = get(
+        &server,
+        "/report?scenario=us_open&format=json&deadline_ms=600000",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(relaxed, exact_before);
+
+    // The exact cache never saw any of that.
+    let (status, _, exact_after) = get(&server, "/report?scenario=us_open&format=json");
+    assert_eq!(status, 200);
+    assert_eq!(exact_after, exact_before);
+
+    // Malformed deadlines are 400s.
+    for target in [
+        "/report?scenario=us_open&format=json&deadline_ms=abc",
+        "/report?scenario=us_open&format=json&deadline_ms=-1",
+        "/report?scenario=us_open&format=json&deadline_ms=",
+    ] {
+        let (status, _, body) = get(&server, target);
+        assert_eq!(status, 400, "{target}");
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains("deadline_ms"), "{target}: {text}");
+    }
+}
+
+/// `/ask` honours a caller deadline: a generous one answers exactly like an
+/// undeadlined ask, an already-expired one is a 408 (the batch keeps running
+/// server-side), and the server stays healthy either way.
+#[test]
+fn ask_deadlines_time_out_without_wedging_the_server() {
+    let server = start_server();
+
+    // Pre-expired: the caller stops waiting immediately. The dispatcher's
+    // admission window alone outlasts a zero deadline, so this cannot race.
+    let (status, _, body) = post(
+        &server,
+        "/ask",
+        r#"{"scenario": "us_open", "query": "Who won the US Open 2023?", "deadline_ms": 0}"#,
+    );
+    assert_eq!(status, 408);
+    assert!(
+        String::from_utf8(body).unwrap().contains("deadline"),
+        "408 body names the deadline"
+    );
+
+    // The abandoned batch completed server-side; a generous deadline now
+    // matches the undeadlined answer byte for byte.
+    let (status, _, plain) = post(
+        &server,
+        "/ask",
+        r#"{"scenario": "us_open", "query": "Who won the US Open 2023?"}"#,
+    );
+    assert_eq!(status, 200);
+    let (status, _, bounded) = post(
+        &server,
+        "/ask",
+        r#"{"scenario": "us_open", "query": "Who won the US Open 2023?", "deadline_ms": 600000}"#,
+    );
+    assert_eq!(status, 200);
+    assert_eq!(bounded, plain);
+
+    // Malformed deadline in the body: caller's fault.
+    let (status, _, body) = post(
+        &server,
+        "/ask",
+        r#"{"scenario": "us_open", "query": "Who won?", "deadline_ms": "soon"}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(String::from_utf8(body).unwrap().contains("deadline_ms"));
+}

@@ -22,7 +22,7 @@ fn main() -> Result<(), RageError> {
     println!("Q: {}", scenario.question);
     println!("A: {}", response.answer());
 
-    let outcome = find_permutation_counterfactual(&evaluator, Some(200))?;
+    let outcome = find_permutation_counterfactual(&evaluator, &SearchBudget::max_evaluations(200))?;
     match &outcome.counterfactual {
         Some(cf) => {
             let order = response.context.doc_ids(&cf.order);
