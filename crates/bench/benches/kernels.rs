@@ -4,7 +4,9 @@
 //! The two paths are bit-identical by contract (`tests/kernel_equivalence.rs`
 //! in `rage-llm` enforces it); this target tracks the *speed* side: how much
 //! the flat buffers, blocking and mirrored score matrix buy at each sequence
-//! length, and what the prefix cache adds on top.
+//! length, what the SIMD backend buys on top of the scalar fused path
+//! (`forward/simd_speedup/k=*` — ULP-divergent by contract, pinned by
+//! `tests/simd_equivalence.rs`), and what the prefix cache adds on top.
 //!
 //! ```text
 //! cargo bench --bench kernels [-- --json KERNELS.json]
@@ -12,6 +14,7 @@
 
 use rage_bench::{black_box, scaled, section, Runner};
 use rage_llm::cache::PrefixCache;
+use rage_llm::kernels::KernelBackend;
 use rage_llm::tokenizer::SimTokenizer;
 use rage_llm::transformer::{Transformer, TransformerConfig};
 use rage_llm::{LlmInput, SourceText};
@@ -39,7 +42,11 @@ fn prompt_for(tokenizer: &SimTokenizer, k: usize) -> rage_llm::tokenizer::Tokeni
 fn main() {
     let mut runner = Runner::from_args();
     let tokenizer = SimTokenizer::new();
-    let transformer = Transformer::new(TransformerConfig::default());
+    // Backends pinned via the enum (not the cargo feature) so scalar and SIMD
+    // legs land side by side in every build.
+    let transformer =
+        Transformer::new(TransformerConfig::default()).with_backend(KernelBackend::Scalar);
+    let vectored = Transformer::new(TransformerConfig::default()).with_backend(KernelBackend::Simd);
 
     for k in [2usize, 5, 10, 20] {
         let prompt = prompt_for(&tokenizer, k);
@@ -53,6 +60,11 @@ fn main() {
             black_box(transformer.forward_reference(&prompt, None));
         });
         runner.ratio(&format!("forward/fused_speedup/k={k}"), &reference, &fused);
+
+        let simd = runner.bench(&format!("forward/simd/k={k}"), scaled(300), || {
+            black_box(vectored.forward(&prompt));
+        });
+        runner.ratio(&format!("forward/simd_speedup/k={k}"), &fused, &simd);
 
         // Warm prefix cache on top of the fused path (the production setup).
         let cache = PrefixCache::default();

@@ -215,12 +215,30 @@ fn keep_alive_client(
 }
 
 /// Nearest-rank percentile over sorted `samples`.
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
+///
+/// Pure integer math: the nearest-rank definition is `rank = ⌈p·n/100⌉`
+/// (1-based), which `(p · n).div_ceil(100)` computes exactly — no float
+/// rounding at the `p·n/100` boundaries where `ceil` on a binary-float
+/// product can land one rank off (e.g. `29·0.35` style artifacts). `p` is
+/// clamped to `1..=100`; `p = 100` is the maximum by construction.
+fn percentile(sorted: &[Duration], p: u64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
     }
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let n = sorted.len() as u64;
+    let rank = (p.clamp(1, 100) * n).div_ceil(100).max(1);
+    sorted[rank as usize - 1]
+}
+
+/// Whether the nearest-rank percentile `p` saturates to the sample maximum
+/// for `n` samples — i.e. `⌈p·n/100⌉ == n` while `p < 100`.
+///
+/// With few samples the upper percentiles silently collapse onto the max
+/// (p99 equals the max for every `n < 100`), which reads like a tail
+/// latency measurement but is really just `max_us`. The summary carries
+/// this flag so dashboards can grey the value out instead of plotting it.
+fn percentile_saturated(n: usize, p: u64) -> bool {
+    n > 0 && p < 100 && (p.clamp(1, 100) * n as u64).div_ceil(100) == n as u64
 }
 
 fn micros(d: Duration) -> f64 {
@@ -240,15 +258,23 @@ fn summarise(latencies: &mut [Duration]) -> JsonValue {
         ("requests".into(), JsonValue::Number(latencies.len() as f64)),
         (
             "p50_us".into(),
-            JsonValue::Number(micros(percentile(latencies, 50.0))),
+            JsonValue::Number(micros(percentile(latencies, 50))),
         ),
         (
             "p95_us".into(),
-            JsonValue::Number(micros(percentile(latencies, 95.0))),
+            JsonValue::Number(micros(percentile(latencies, 95))),
         ),
         (
             "p99_us".into(),
-            JsonValue::Number(micros(percentile(latencies, 99.0))),
+            JsonValue::Number(micros(percentile(latencies, 99))),
+        ),
+        (
+            "p95_saturated".into(),
+            JsonValue::Bool(percentile_saturated(latencies.len(), 95)),
+        ),
+        (
+            "p99_saturated".into(),
+            JsonValue::Bool(percentile_saturated(latencies.len(), 99)),
         ),
         ("mean_us".into(), JsonValue::Number(micros(mean))),
         (
@@ -584,5 +610,109 @@ fn main() -> ExitCode {
             eprintln!("loadtest: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn durations(micros: &[u64]) -> Vec<Duration> {
+        micros.iter().map(|&u| Duration::from_micros(u)).collect()
+    }
+
+    #[test]
+    fn percentile_n1_every_p_is_the_single_sample() {
+        let sorted = durations(&[42]);
+        for p in [1u64, 50, 95, 99, 100] {
+            assert_eq!(percentile(&sorted, p), Duration::from_micros(42), "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_n2_splits_at_the_median() {
+        let sorted = durations(&[10, 20]);
+        // rank = ceil(p·2/100): p ≤ 50 → rank 1, p > 50 → rank 2.
+        assert_eq!(percentile(&sorted, 50), Duration::from_micros(10));
+        assert_eq!(percentile(&sorted, 51), Duration::from_micros(20));
+        assert_eq!(percentile(&sorted, 95), Duration::from_micros(20));
+        assert_eq!(percentile(&sorted, 99), Duration::from_micros(20));
+        assert_eq!(percentile(&sorted, 100), Duration::from_micros(20));
+    }
+
+    #[test]
+    fn percentile_n10_nearest_rank_boundaries() {
+        let sorted = durations(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        // Exact boundary: ceil(50·10/100) = 5 — the nearest-rank median of
+        // an even-sized sample is the LOWER of the two middle values.
+        assert_eq!(percentile(&sorted, 50), Duration::from_micros(5));
+        // ceil(95·10/100) = ceil(9.5) = 10, ceil(99·10/100) = 10.
+        assert_eq!(percentile(&sorted, 95), Duration::from_micros(10));
+        assert_eq!(percentile(&sorted, 99), Duration::from_micros(10));
+        assert_eq!(percentile(&sorted, 10), Duration::from_micros(1));
+        assert_eq!(percentile(&sorted, 11), Duration::from_micros(2));
+    }
+
+    #[test]
+    fn percentile_n99_and_n100_p99_boundary() {
+        let n99: Vec<u64> = (1..=99).collect();
+        let sorted = durations(&n99);
+        // n = 99: ceil(99·99/100) = ceil(98.01) = 99 → still the max.
+        assert_eq!(percentile(&sorted, 99), Duration::from_micros(99));
+        assert!(percentile_saturated(99, 99));
+
+        let n100: Vec<u64> = (1..=100).collect();
+        let sorted = durations(&n100);
+        // n = 100: ceil(99·100/100) = 99 → first rank where p99 detaches
+        // from the max.
+        assert_eq!(percentile(&sorted, 99), Duration::from_micros(99));
+        assert_eq!(percentile(&sorted, 100), Duration::from_micros(100));
+        assert!(!percentile_saturated(100, 99));
+    }
+
+    #[test]
+    fn percentile_empty_and_clamps() {
+        assert_eq!(percentile(&[], 99), Duration::ZERO);
+        let sorted = durations(&[5, 6, 7]);
+        // p = 0 clamps to 1 (rank 1); p > 100 clamps to the max.
+        assert_eq!(percentile(&sorted, 0), Duration::from_micros(5));
+        assert_eq!(percentile(&sorted, 1000), Duration::from_micros(7));
+    }
+
+    #[test]
+    fn saturation_flags_track_sample_count() {
+        // p95 detaches from the max at n = 20, p99 at n = 100.
+        assert!(percentile_saturated(19, 95));
+        assert!(!percentile_saturated(20, 95));
+        assert!(percentile_saturated(99, 99));
+        assert!(!percentile_saturated(100, 99));
+        // Degenerate inputs never flag.
+        assert!(!percentile_saturated(0, 99));
+        assert!(!percentile_saturated(50, 100));
+    }
+
+    #[test]
+    fn summarise_emits_saturation_fields() {
+        let mut latencies = durations(&[10, 20, 30]);
+        let summary = summarise(&mut latencies);
+        assert_eq!(
+            summary.get("requests").and_then(JsonValue::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            summary.get("p99_us").and_then(JsonValue::as_f64),
+            Some(30.0)
+        );
+        assert_eq!(summary.get("p95_saturated"), Some(&JsonValue::Bool(true)));
+        assert_eq!(summary.get("p99_saturated"), Some(&JsonValue::Bool(true)));
+
+        let mut many = durations(&(1..=200).collect::<Vec<u64>>());
+        let summary = summarise(&mut many);
+        assert_eq!(
+            summary.get("p99_us").and_then(JsonValue::as_f64),
+            Some(198.0)
+        );
+        assert_eq!(summary.get("p95_saturated"), Some(&JsonValue::Bool(false)));
+        assert_eq!(summary.get("p99_saturated"), Some(&JsonValue::Bool(false)));
     }
 }

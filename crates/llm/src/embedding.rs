@@ -113,7 +113,16 @@ impl Embedder {
     }
 }
 
-/// Normalise a vector to unit L2 norm (no-op for the zero vector).
+/// Normalise a vector to unit L2 norm.
+///
+/// The division is guarded by an epsilon: vectors whose norm is `<= 1e-12`
+/// — the zero vector, and vectors of subnormal components whose squared
+/// norm underflows — are returned unchanged rather than divided by
+/// (near-)zero. The guard is what keeps `0/0 = NaN` out of the residual
+/// path (see [`residual_normalize`](crate::kernels::residual_normalize));
+/// `1e-12` is far below any norm a real embedding row can reach (unit-norm
+/// embeddings halved once per layer bottom out around `0.5`), so the guard
+/// can only fire on degenerate input, never on the hot path.
 pub fn normalize(v: &mut [f64]) {
     let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
     if norm > 1e-12 {

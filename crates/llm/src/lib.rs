@@ -53,6 +53,33 @@
 //! change to the forward pass must therefore be made in *both* implementations — the
 //! suite fails loudly otherwise.
 //!
+//! ## Backend selection and the re-baseline contract
+//!
+//! Two kernel backends are always compiled
+//! ([`KernelBackend`](kernels::KernelBackend)): `Scalar`, which keeps the strict
+//! bit-identity contract above, and `Simd`, which restructures the same hot loops into
+//! four-lane blocks that stable Rust auto-vectorises to packed SSE2. Selection is
+//! per-model at runtime — [`SimLlm::with_kernel_backend`](model::SimLlm::with_kernel_backend)
+//! or [`Transformer::with_backend`](transformer::Transformer::with_backend) — and the
+//! *default* backend follows the `simd` cargo feature, so a plain build behaves
+//! exactly as before the SIMD backend existed.
+//!
+//! The SIMD backend trades strict bit-identity for speed in four documented,
+//! deterministic ways (tree-reduced dots, a polynomial `exp`, reciprocal weight
+//! normalisation, and head-average weight folding — see [`kernels::simd`] for the
+//! precise divergence contract and its ULP bounds). Everything else still matches the
+//! scalar oracle bit-for-bit, and `tests/simd_equivalence.rs` pins both the bounds and
+//! the bitwise-shared kernels. Two consequences for downstream users:
+//!
+//! * **Golden snapshots are scalar-pinned.** Tests that assert exact answers or
+//!   attention bytes construct their models with the scalar backend explicitly, so the
+//!   cargo feature cannot silently re-baseline them.
+//! * **Re-baselining is opt-in and observable.** If a golden is ever moved onto the
+//!   SIMD backend, its values must be regenerated under `--features simd` *and* the
+//!   change reviewed as a semantic diff — the equivalence suite's ULP bounds say how
+//!   large that diff may legitimately be. A prefix cache is likewise backend-private:
+//!   entries written under one backend must never be read under the other.
+//!
 //! ## Crate layout
 //!
 //! * [`tokenizer`] — word-level tokenizer with a hashing vocabulary.

@@ -11,9 +11,10 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use crate::attention::aggregate_question_to_source_attention;
+use crate::attention::{aggregate_question_to_source_attention, aggregate_source_attention};
 use crate::cache::PrefixCache;
 use crate::extraction::{classify_question, extract_candidates, QuestionKind};
+use crate::kernels::KernelBackend;
 use crate::knowledge::PriorKnowledge;
 use crate::position_bias::PositionBiasProfile;
 use crate::tokenizer::SimTokenizer;
@@ -116,13 +117,30 @@ impl SimLlm {
     ///
     /// Caching never changes outputs (see the `cache` module invariants); it
     /// only trades memory for recomputation. The cache entries are functions
-    /// of this model's seed and dimensions, so **never** share one cache
-    /// between models built from different [`TransformerConfig`]s. Cloning the
-    /// model shares the cache handle, which is the intended way to hand the
-    /// same model to multiple worker threads.
+    /// of this model's seed, dimensions **and kernel backend** (the SIMD
+    /// backend stores tree-reduced projections that differ by ULPs from the
+    /// scalar ones), so **never** share one cache between models built from
+    /// different [`TransformerConfig`]s or running different
+    /// [`KernelBackend`]s. Cloning the model shares the cache handle, which
+    /// is the intended way to hand the same model to multiple worker threads.
     pub fn with_prefix_cache(mut self, cache: Arc<PrefixCache>) -> Self {
         self.prefix_cache = Some(cache);
         self
+    }
+
+    /// Select the kernel backend the transformer's fused forward pass runs
+    /// on (builder style). Defaults to [`KernelBackend::default`] — scalar
+    /// unless the crate is built with the `simd` feature. See the
+    /// [`kernels`](crate::kernels) module docs for the divergence contract,
+    /// and [`SimLlm::with_prefix_cache`] for the cache-sharing rule.
+    pub fn with_kernel_backend(mut self, backend: KernelBackend) -> Self {
+        self.transformer = self.transformer.with_backend(backend);
+        self
+    }
+
+    /// The kernel backend in use.
+    pub fn kernel_backend(&self) -> KernelBackend {
+        self.transformer.backend()
     }
 
     /// The attached prefix cache, if any.
@@ -174,7 +192,20 @@ impl SimLlm {
             self.transformer
                 .forward_cached(&prompt, self.prefix_cache.as_deref())
         };
-        let content = aggregate_question_to_source_attention(&record, &prompt).normalised();
+        // Aggregation must match the mask. The prompt layout is question
+        // first, sources after: under causal masking a question row can
+        // never attend to a source token (sources are strictly in its
+        // future), so the question-restricted read-out would be identically
+        // zero. Causal models therefore aggregate over the whole prompt —
+        // source rows, computed after the sources appear, carry the signal.
+        let content = if self.config.transformer.causal {
+            aggregate_source_attention(&record, &prompt).normalised()
+        } else {
+            aggregate_question_to_source_attention(&record, &prompt).normalised()
+        };
+        // The record is fully aggregated; hand its matrices back so the next
+        // forward reuses their allocations instead of faulting fresh pages.
+        self.transformer.recycle(record);
 
         let mut effective: Vec<f64> = (0..k)
             .map(|i| {

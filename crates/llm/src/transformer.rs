@@ -8,7 +8,7 @@
 //! softmax per query position, hidden states are updated through a residual mix of the
 //! attended values, and every layer's per-head attention matrix is recorded.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -30,6 +30,14 @@ pub struct TransformerConfig {
     pub temperature: f64,
     /// Seed for the deterministic projection matrices and embeddings.
     pub seed: u64,
+    /// Causal attention: query position `q` attends only to key positions
+    /// `k <= q` (decoder-style masking of future positions). Off by default —
+    /// the read-out the explanation engine aggregates was calibrated on
+    /// bidirectional attention. With the workspace's question-first prompt
+    /// layout, causal masking means question rows never see source tokens,
+    /// so [`SimLlm`](crate::model::SimLlm) switches its aggregation to the
+    /// whole-prompt variant when this is on (see `SimLlm::effective_attention`).
+    pub causal: bool,
 }
 
 impl Default for TransformerConfig {
@@ -40,6 +48,7 @@ impl Default for TransformerConfig {
             dim: 32,
             temperature: 0.35,
             seed: 0x5eed_1234,
+            causal: false,
         }
     }
 }
@@ -117,7 +126,22 @@ pub struct Transformer {
     embedder: Embedder,
     /// Per layer, per head: a `head_dim × dim` projection applied to both queries and keys.
     projections: Vec<Vec<Matrix>>,
+    /// Which kernel implementation [`Transformer::forward_cached`] runs on.
+    backend: kernels::KernelBackend,
+    /// Recycled `n × n` buffers for attention matrices and combined-weight
+    /// scratch. At report-scale prompts these allocations are large enough
+    /// that the system allocator hands them back to the OS on every drop,
+    /// and the page faults of re-touching fresh pages cost more than an
+    /// entire softmax pass per forward. Callers that are done reading an
+    /// [`AttentionRecord`] return its matrices via [`Transformer::recycle`];
+    /// clones share the pool.
+    scratch: Arc<Mutex<Vec<Vec<f64>>>>,
 }
+
+/// Upper bound on pooled scratch buffers: enough for a full record (layers ×
+/// heads) plus the combined-weight matrix from concurrent forwards, while
+/// capping idle memory at `SCRATCH_CAP · n²` doubles.
+const SCRATCH_CAP: usize = 12;
 
 /// SplitMix64 step (kept local to avoid a circular helper dependency).
 fn splitmix64(state: &mut u64) -> u64 {
@@ -164,6 +188,53 @@ impl Transformer {
             config,
             embedder,
             projections,
+            backend: kernels::KernelBackend::default(),
+            scratch: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// Pop a pooled buffer resized to `len`. When `zeroed` is false the
+    /// contents are stale and the caller must overwrite every element (the
+    /// bidirectional score pass does); when true the buffer is zero-filled,
+    /// matching a fresh `vec![0.0; len]` bit-for-bit.
+    fn take_scratch(&self, len: usize, zeroed: bool) -> Vec<f64> {
+        let mut buf = self
+            .scratch
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        if buf.len() != len {
+            buf.clear();
+            buf.resize(len, 0.0);
+        } else if zeroed {
+            buf.fill(0.0);
+        }
+        buf
+    }
+
+    /// Return one buffer to the pool (bounded by [`SCRATCH_CAP`]).
+    fn give_scratch(&self, buf: Vec<f64>) {
+        let mut pool = self.scratch.lock().expect("scratch pool poisoned");
+        if pool.len() < SCRATCH_CAP {
+            pool.push(buf);
+        }
+    }
+
+    /// Return a fully-read [`AttentionRecord`]'s matrices to the scratch
+    /// pool so the next forward pass reuses their allocations instead of
+    /// faulting in fresh pages. Purely an allocation-lifetime optimisation:
+    /// recycling is optional, never changes results, and records that are
+    /// simply dropped cost nothing beyond the lost reuse.
+    pub fn recycle(&self, record: AttentionRecord) {
+        let mut pool = self.scratch.lock().expect("scratch pool poisoned");
+        for layer in record.layers {
+            for matrix in layer.heads {
+                if pool.len() >= SCRATCH_CAP {
+                    return;
+                }
+                pool.push(matrix.data);
+            }
         }
     }
 
@@ -172,10 +243,42 @@ impl Transformer {
         &self.config
     }
 
-    /// Project a hidden-state vector with one head's projection matrix.
+    /// Select the kernel backend the fused forward pass runs on (builder
+    /// style). See the [`kernels`] module docs for the backend contract.
+    ///
+    /// The backend participates in every fused computation *including the
+    /// values stored into a [`PrefixCache`]*, so a cache warmed under one
+    /// backend must never be shared with a model running another — the
+    /// scalar and SIMD projections differ by ULPs and mixing them would make
+    /// cached and uncached forwards diverge.
+    pub fn with_backend(mut self, backend: kernels::KernelBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The kernel backend in use.
+    pub fn backend(&self) -> kernels::KernelBackend {
+        self.backend
+    }
+
+    /// Project a hidden-state vector with one head's projection matrix —
+    /// reference operation order (sequential row dots), used by
+    /// [`Transformer::forward_reference`] regardless of backend.
     fn project(&self, layer: usize, head: usize, hidden: &[f64]) -> Vec<f64> {
         let proj = &self.projections[layer][head];
         (0..proj.rows).map(|r| dot(proj.row(r), hidden)).collect()
+    }
+
+    /// Backend-dispatched projection, used by the fused path's cache-miss
+    /// closure so that cached and uncached fused forwards agree bit-for-bit
+    /// under *either* backend. (Under the scalar backend this is bit-identical
+    /// to [`Transformer::project`]; under SIMD the dots are tree-reduced.)
+    fn project_fused(&self, layer: usize, head: usize, hidden: &[f64]) -> Vec<f64> {
+        let proj = &self.projections[layer][head];
+        let mut out = vec![0.0; proj.rows];
+        self.backend
+            .matvec_into(&proj.data, proj.rows, proj.cols, hidden, &mut out);
+        out
     }
 
     /// Run the forward pass over a tokenised prompt and record every attention matrix.
@@ -198,10 +301,16 @@ impl Transformer {
     /// This is the production path, implemented on the fused [`kernels`]:
     /// flat row-major buffers, blocked inner loops, and a mirrored score
     /// matrix (the pre-softmax score `dot(pᵩ, pₖ)·scale` is bit-symmetric in
-    /// `q`/`k`, so only the upper triangle is computed). The result is
-    /// guaranteed bit-identical to [`Transformer::forward_reference`] — see
-    /// the [`kernels`] module docs for the contract and
-    /// `tests/kernel_equivalence.rs` for its enforcement.
+    /// `q`/`k`, so only the upper triangle is computed; under causal masking
+    /// each row's visible prefix is computed directly instead). Under
+    /// [`KernelBackend::Scalar`](kernels::KernelBackend::Scalar) the result
+    /// is guaranteed bit-identical to [`Transformer::forward_reference`] —
+    /// see the [`kernels`] module docs for the contract and
+    /// `tests/kernel_equivalence.rs` for its enforcement. Under
+    /// [`KernelBackend::Simd`](kernels::KernelBackend::Simd) the result is
+    /// deterministic but ULP-divergent from the oracle (tree-reduced dots,
+    /// polynomial softmax `exp`, combined-head value mix), with the bound
+    /// pinned by `tests/simd_equivalence.rs`.
     pub fn forward_cached(
         &self,
         prompt: &TokenizedPrompt,
@@ -238,7 +347,26 @@ impl Transformer {
         // Scratch buffers reused across layers and heads.
         let mut projected = vec![0.0f64; n * head_dim];
         let mut mixed = vec![0.0f64; n * dim];
-        let mut scores = vec![0.0f64; n * n];
+
+        let backend = self.backend;
+        let causal = self.config.causal;
+        // The SIMD backend folds the per-head value mixes into one combined
+        // pass per query: the head weight rows are summed first, then the
+        // values are traversed once instead of once per head. Same math,
+        // reassociated — part of the backend's documented ULP divergence.
+        // (With one head the fold is the identity, so skip the extra copy.)
+        let combine_mix = backend == kernels::KernelBackend::Simd && self.config.heads > 1;
+        let mut combined = vec![0.0f64; if combine_mix && causal { n } else { 0 }];
+        // Full combined-weight matrix for the tiled mix (bidirectional SIMD
+        // path only — causal rows have ragged visible prefixes). Stale pool
+        // contents are fine: assembly assigns every element before the mix
+        // reads it.
+        let mut combined_all = if combine_mix && !causal {
+            self.take_scratch(n * n, false)
+        } else {
+            Vec::new()
+        };
+        let inv_heads = kernels::exact_reciprocal(heads_f).unwrap_or(1.0 / heads_f);
 
         let mut layers = Vec::with_capacity(self.config.layers);
         for layer in 0..self.config.layers {
@@ -254,7 +382,7 @@ impl Transformer {
                     Some(cache) if layer == 0 => {
                         for (pos, token) in prompt.tokens.iter().enumerate() {
                             let row = cache.layer0_projection(head, token.id, pos, || {
-                                self.project(layer, head, &hidden[pos * dim..(pos + 1) * dim])
+                                self.project_fused(layer, head, &hidden[pos * dim..(pos + 1) * dim])
                             });
                             projected[pos * head_dim..(pos + 1) * head_dim].copy_from_slice(&row);
                         }
@@ -262,7 +390,7 @@ impl Transformer {
                     _ => {
                         let proj = &self.projections[layer][head];
                         for pos in 0..n {
-                            kernels::matvec_into(
+                            backend.matvec_into(
                                 &proj.data,
                                 proj.rows,
                                 proj.cols,
@@ -274,44 +402,134 @@ impl Transformer {
                 }
                 let scale = 1.0 / ((head_dim as f64).sqrt() * self.config.temperature);
 
-                // Pre-softmax scores. `dot(pᵩ, pₖ)` performs the same
-                // multiply/add sequence as `dot(pₖ, pᵩ)`, so the matrix is
-                // bit-symmetric: compute the upper triangle, mirror the rest.
+                // Pre-softmax scores. Bidirectional: `dot(pᵩ, pₖ)` performs
+                // the same multiply/add sequence as `dot(pₖ, pᵩ)`, so the
+                // matrix is bit-symmetric — compute the upper triangle,
+                // mirror the rest. Causal: each row needs only its visible
+                // prefix `k <= q` (the lower triangle), and earlier rows
+                // never computed those columns, so the prefix is computed
+                // directly — no mirror, same `n(n+1)/2` total dot products.
+                // Scores are computed straight into the retained attention
+                // matrix — no separate score scratch and clone (a full
+                // extra `n × n` memcpy). The matrix comes from the scratch
+                // pool: the bidirectional pass overwrites every element
+                // (mirror plus kernel row), while the causal pass needs the
+                // masked upper triangle zeroed, exactly like a fresh
+                // allocation. The mirror reads earlier rows of `attn`
+                // itself, which still hold raw scores because the softmax
+                // pass below only starts once every row is written.
+                let mut attn = Matrix {
+                    rows: n,
+                    cols: n,
+                    data: self.take_scratch(n * n, causal),
+                };
                 for q in 0..n {
-                    for k in 0..q {
-                        scores[q * n + k] = scores[k * n + q];
+                    let row_start = q * n;
+                    if causal {
+                        let visible = q + 1;
+                        backend.scores_into(
+                            &projected[q * head_dim..(q + 1) * head_dim],
+                            &projected[..visible * head_dim],
+                            head_dim,
+                            scale,
+                            &mut attn.data[row_start..row_start + visible],
+                        );
+                    } else {
+                        for k in 0..q {
+                            attn.data[row_start + k] = attn.data[k * n + q];
+                        }
+                        backend.scores_into(
+                            &projected[q * head_dim..(q + 1) * head_dim],
+                            &projected[q * head_dim..n * head_dim],
+                            head_dim,
+                            scale,
+                            &mut attn.data[row_start + q..row_start + n],
+                        );
                     }
-                    kernels::scores_into(
-                        &projected[q * head_dim..(q + 1) * head_dim],
-                        &projected[q * head_dim..n * head_dim],
-                        head_dim,
-                        scale,
-                        &mut scores[q * n + q..(q + 1) * n],
-                    );
                 }
-
-                let mut attn = Matrix::zeros(n, n);
                 for q in 0..n {
-                    // Fused softmax + value mix over the query's weight row.
+                    // Fused softmax + value mix over the query's visible
+                    // weight prefix; masked (future) positions stay at the
+                    // allocation's zeros, exactly like the reference's
+                    // untouched entries.
+                    let visible = if causal { q + 1 } else { n };
                     let row = attn.row_mut(q);
-                    row.copy_from_slice(&scores[q * n..(q + 1) * n]);
-                    let sum = kernels::softmax_exp_inplace(row);
-                    kernels::weights_inplace(row, sum);
-                    kernels::mix_accumulate(
-                        row,
-                        &hidden,
+                    let sum = backend.softmax_exp_inplace(&mut row[..visible]);
+                    backend.weights_inplace(&mut row[..visible], sum);
+                    if !combine_mix {
+                        backend.mix_accumulate(
+                            &row[..visible],
+                            &hidden[..visible * dim],
+                            dim,
+                            heads_f,
+                            &mut mixed[q * dim..(q + 1) * dim],
+                        );
+                    }
+                }
+                head_matrices.push(attn);
+            }
+
+            if combine_mix && !causal {
+                // Assemble the head-averaged combined-weight matrix, then
+                // run one tiled mix over the whole layer so the hidden
+                // buffer streams through L1-sized key tiles exactly once
+                // instead of once per query. The fold is the identical
+                // `(w₀ + w₁ + …) · (1/heads)` product `simd::mix_accumulate`
+                // forms per key, so the tiled mix rounds exactly like the
+                // per-query kernel.
+                let (first_head, rest_heads) = head_matrices
+                    .split_first()
+                    .expect("combine_mix requires heads > 1");
+                let (last_head, mid_heads) = rest_heads
+                    .split_last()
+                    .expect("combine_mix requires heads > 1");
+                for q in 0..n {
+                    let dst = &mut combined_all[q * n..(q + 1) * n];
+                    dst.copy_from_slice(first_head.row(q));
+                    for attn in mid_heads {
+                        for (c, w) in dst.iter_mut().zip(attn.row(q)) {
+                            *c += *w;
+                        }
+                    }
+                    for (c, w) in dst.iter_mut().zip(last_head.row(q)) {
+                        *c = (*c + *w) * inv_heads;
+                    }
+                }
+                kernels::simd::mix_tiled(&combined_all, &hidden, dim, &mut mixed);
+            } else if combine_mix {
+                let (first_head, rest_heads) = head_matrices
+                    .split_first()
+                    .expect("combine_mix requires heads > 1");
+                for q in 0..n {
+                    let visible = q + 1;
+                    let combined = &mut combined[..visible];
+                    // Assign from the first head, accumulate the rest — one
+                    // fewer pass over the row than zero-fill-then-add.
+                    for (c, w) in combined.iter_mut().zip(&first_head.row(q)[..visible]) {
+                        *c = *w;
+                    }
+                    for attn in rest_heads {
+                        for (c, w) in combined.iter_mut().zip(&attn.row(q)[..visible]) {
+                            *c += *w;
+                        }
+                    }
+                    backend.mix_accumulate(
+                        combined,
+                        &hidden[..visible * dim],
                         dim,
                         heads_f,
                         &mut mixed[q * dim..(q + 1) * dim],
                     );
                 }
-                head_matrices.push(attn);
             }
 
-            kernels::residual_normalize(&mut hidden, &mixed, dim);
+            backend.residual_normalize(&mut hidden, &mixed, dim);
             layers.push(LayerAttention {
                 heads: head_matrices,
             });
+        }
+        if !combined_all.is_empty() {
+            self.give_scratch(combined_all);
         }
 
         AttentionRecord { layers, seq_len: n }
@@ -383,8 +601,11 @@ impl Transformer {
 
                 let mut attn = Matrix::zeros(n, n);
                 for q in 0..n {
-                    // Scores for query q against every key.
-                    let mut scores: Vec<f64> = (0..n)
+                    // Scores for query q against every visible key (all of
+                    // them, or the causal prefix `k <= q`; masked positions
+                    // keep the matrix's zero initialisation).
+                    let visible = if self.config.causal { q + 1 } else { n };
+                    let mut scores: Vec<f64> = (0..visible)
                         .map(|k| dot(&projected[q], &projected[k]) * scale)
                         .collect();
                     // Numerically-stable softmax.

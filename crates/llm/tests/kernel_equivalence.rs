@@ -19,17 +19,29 @@
 //!
 //! Everything is seeded; failures reproduce deterministically.
 
+//! Every test here pins [`KernelBackend::Scalar`] explicitly: the
+//! bit-identity contract is a property of the scalar kernels, and pinning
+//! keeps the suite green when the crate is built with `--features simd`
+//! (which only flips the *default* backend). The SIMD backend has its own
+//! ULP-bounded differential suite in `simd_equivalence.rs`.
+
 use std::sync::Arc;
 
 use rage_core::explanation::ReportConfig;
 use rage_core::{ParallelEvaluator, RagPipeline, RageReport};
 use rage_datasets::{big_three, us_open, Scenario};
 use rage_llm::cache::PrefixCache;
+use rage_llm::kernels::KernelBackend;
 use rage_llm::model::{SimLlm, SimLlmConfig};
 use rage_llm::tokenizer::SimTokenizer;
 use rage_llm::transformer::{AttentionRecord, Transformer, TransformerConfig};
 use rage_llm::{LanguageModel, LlmInput, SourceText};
 use rage_retrieval::{IndexBuilder, Searcher};
+
+/// A transformer pinned to the scalar oracle backend.
+fn scalar_transformer(config: TransformerConfig) -> Transformer {
+    Transformer::new(config).with_backend(KernelBackend::Scalar)
+}
 
 /// SplitMix64 step — the workspace's standard deterministic mixer.
 fn splitmix64(state: &mut u64) -> u64 {
@@ -120,6 +132,7 @@ fn config_sweep() -> Vec<TransformerConfig> {
             dim,
             temperature: 0.35,
             seed: 0x5eed_1234 ^ ((dim as u64) << 8) ^ heads as u64,
+            causal: false,
         });
     }
     // Temperature extremes sharpen/flatten the softmax.
@@ -139,7 +152,7 @@ fn fused_forward_is_bit_identical_to_reference_across_configs_and_prompts() {
     let tokenizer = SimTokenizer::new();
     let mut state = 0x1234_5678_9ABC_DEF0;
     for config in config_sweep() {
-        let transformer = Transformer::new(config);
+        let transformer = scalar_transformer(config);
         for round in 0..8 {
             let input = random_input(&mut state);
             let prompt = tokenizer.tokenize_prompt(&input);
@@ -169,7 +182,7 @@ fn fused_forward_matches_reference_with_prefix_cache_cold_and_warm() {
             ..TransformerConfig::default()
         },
     ] {
-        let transformer = Transformer::new(config);
+        let transformer = scalar_transformer(config);
         // Separate caches per path: stats differ by construction, values may
         // not. Warmth builds up across rounds as prompts share tokens.
         let fused_cache = PrefixCache::default();
@@ -205,7 +218,7 @@ fn fused_and_reference_caches_are_interchangeable() {
     // unchanged and vice versa — entries are bit-identical, so sharing one
     // cache across both implementations is legal.
     let tokenizer = SimTokenizer::new();
-    let transformer = Transformer::new(TransformerConfig::default());
+    let transformer = scalar_transformer(TransformerConfig::default());
     let shared = PrefixCache::default();
     let mut state = 0x0BAD_F00D;
     for _ in 0..6 {
@@ -228,7 +241,7 @@ fn sim_llm_generations_match_reference_forward_bitwise() {
             },
             ..SimLlmConfig::default()
         };
-        let fused = SimLlm::new(config.clone());
+        let fused = SimLlm::new(config.clone()).with_kernel_backend(KernelBackend::Scalar);
         let reference = SimLlm::new(config).with_reference_forward();
         for round in 0..12 {
             let input = random_input(&mut state);
@@ -265,7 +278,8 @@ fn sim_llm_generations_match_reference_forward_bitwise() {
 /// forward, with or without a prefix cache.
 fn pipeline_for(scenario: &Scenario, reference: bool, prefix_cache: bool) -> RagPipeline {
     let searcher = Searcher::new(IndexBuilder::default().build(&scenario.corpus));
-    let mut llm = SimLlm::new(SimLlmConfig::default().with_prior(scenario.prior.clone()));
+    let mut llm = SimLlm::new(SimLlmConfig::default().with_prior(scenario.prior.clone()))
+        .with_kernel_backend(KernelBackend::Scalar);
     if reference {
         llm = llm.with_reference_forward();
     }
