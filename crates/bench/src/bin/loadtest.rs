@@ -11,9 +11,13 @@
 //! ephemeral port (the CI path — no separate process to babysit); with
 //! `--addr` it targets an already-running server. `--clients` concurrent
 //! client threads each issue `--requests` requests in a fixed rotation of the
-//! four serving endpoints (`GET /scenarios`, `GET /report?format=json`, the
+//! serving endpoints (`GET /scenarios`, `GET /report?format=json`, the
 //! same report with `deadline_ms=50` — the anytime SLO path, measured as its
-//! own `report_anytime` bucket — and `POST /ask`).
+//! own `report_anytime` bucket — and `POST /ask`), plus an `entity_resolve`
+//! bucket: batch entity-resolution lookups (`POST /ask` against the
+//! `entity_registry` scenario, rotating through the three affiliation query
+//! forms), the workload whose pruned retrieval path the retrieval benchmark
+//! gates.
 //!
 //! Two connection disciplines are measured (both by default, so one
 //! `SERVER_pr.json` records the connection-churn cost side by side):
@@ -38,6 +42,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use rage_datasets::entity_registry::{self, EntityRegistryConfig};
 use rage_json::JsonValue;
 use rage_report::Service;
 use rage_server::{Server, ServerConfig};
@@ -373,7 +378,7 @@ fn run(config: LoadConfig) -> Result<(), String> {
     // requests rely on the HTTP/1.1 default so the connection persists.
     let build_requests = |close: bool| -> Vec<(&'static str, Vec<u8>)> {
         let connection = if close { "Connection: close\r\n" } else { "" };
-        vec![
+        let mut requests = vec![
             (
                 "scenarios",
                 format!("GET /scenarios HTTP/1.1\r\nHost: loadtest\r\n{connection}\r\n")
@@ -401,7 +406,26 @@ fn run(config: LoadConfig) -> Result<(), String> {
                 )
                 .into_bytes(),
             ),
-        ]
+        ];
+        // Batch entity-resolution lookups: one request per affiliation query
+        // form (acronym+city, alias, registry id+city), all aggregated into a
+        // single `entity_resolve` latency bucket. These exercise the pruned
+        // retrieval hot path against the registry corpus.
+        for lookup in entity_registry::resolution_queries(EntityRegistryConfig::default(), 3) {
+            let body = format!(
+                r#"{{"scenario": "entity_registry", "query": "{}", "k": 10}}"#,
+                lookup.query
+            );
+            requests.push((
+                "entity_resolve",
+                format!(
+                    "POST /ask HTTP/1.1\r\nHost: loadtest\r\nContent-Length: {}\r\n{connection}\r\n{body}",
+                    body.len()
+                )
+                .into_bytes(),
+            ));
+        }
+        requests
     };
 
     // Pre-flight: one of each, so cold-start cost (index + pipeline build on

@@ -30,6 +30,10 @@
 //! * [`live_updates`] — a champions corpus paired with a scripted mutation sequence
 //!   (breaking result, correction, retraction); the standard fixture for live-corpus
 //!   and cache-invalidation tests.
+//! * [`entity_registry`] — a ROR-shaped organisation registry (canonical names,
+//!   aliases, acronyms, registry identifiers) with batch affiliation-resolution
+//!   lookups; the 100k-document workload of the retrieval benchmark's dynamic-pruning
+//!   bucket and the loadtest's entity-resolution rotation.
 //!
 //! ## The scenario registry
 //!
@@ -46,6 +50,7 @@
 
 pub mod adversarial;
 pub mod big_three;
+pub mod entity_registry;
 pub mod large_corpus;
 pub mod live_updates;
 pub mod multi_hop;

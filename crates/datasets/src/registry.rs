@@ -21,7 +21,8 @@
 
 use crate::scenario::Scenario;
 use crate::{
-    adversarial, big_three, large_corpus, live_updates, multi_hop, synthetic, timeline, us_open,
+    adversarial, big_three, entity_registry, large_corpus, live_updates, multi_hop, synthetic,
+    timeline, us_open,
 };
 
 /// Optional knobs a registry caller can pass to a scenario builder.
@@ -228,6 +229,29 @@ impl ScenarioRegistry {
              tests (see `rage_datasets::live_updates::mutation_script`).",
             |_| live_updates::scenario(),
         ));
+        registry.register(ScenarioEntry::new(
+            "entity_registry",
+            "Seeded organisation registry: affiliation lookups over names, aliases, acronyms.",
+            "A ROR-shaped registry of organisation records — distinct canonical names, \
+             alias word-order variants, acronyms, cities and unique registry \
+             identifiers — queried with affiliation-resolution lookups. The default \
+             registry holds a few thousand records; the retrieval benchmark builds the \
+             same generator at 100k+ documents for its dynamic-pruning bucket. Honours \
+             `seed`, `size` (number of organisations) and `retrieval_k`.",
+            |params| {
+                let mut config = entity_registry::EntityRegistryConfig::default();
+                if let Some(seed) = params.seed {
+                    config.seed = seed;
+                }
+                if let Some(size) = params.size {
+                    config.num_orgs = size;
+                }
+                if let Some(k) = params.retrieval_k {
+                    config.retrieval_k = k;
+                }
+                entity_registry::scenario(config)
+            },
+        ));
         registry
     }
 
@@ -298,10 +322,11 @@ mod tests {
                 "large_corpus",
                 "multi_hop",
                 "adversarial",
-                "live_updates"
+                "live_updates",
+                "entity_registry"
             ]
         );
-        assert_eq!(registry.len(), 8);
+        assert_eq!(registry.len(), 9);
         assert!(!registry.is_empty());
     }
 

@@ -6,6 +6,7 @@
 //! `SimLlm` generation over the retrieved sources in rank order — without depending on
 //! `rage-core` (which depends on this crate).
 
+use rage_datasets::entity_registry::{self, EntityRegistryConfig};
 use rage_datasets::large_corpus::{self, LargeCorpusConfig};
 use rage_datasets::{adversarial, multi_hop, Scenario};
 use rage_llm::model::{SimLlm, SimLlmConfig};
@@ -89,6 +90,27 @@ fn adversarial_removing_the_winning_camp_flips_the_answer() {
         &["claim-0-marin", "claim-1-marin", "claim-2-marin"],
     );
     assert_eq!(answer, adversarial::CAMP_VOSS);
+}
+
+#[test]
+fn entity_registry_affiliation_resolves_to_the_canonical_name() {
+    let scenario = entity_registry::scenario(EntityRegistryConfig::default());
+    assert!(scenario.corpus_size() >= 4096);
+    let (order, answer) = retrieval_and_answer(&scenario, &[]);
+    assert_eq!(order.len(), scenario.retrieval_k);
+    // The target record ranks first and the model reads its canonical name off it.
+    let target = entity_registry::org_record(scenario.corpus_size() / 2);
+    assert_eq!(order[0], target.doc_id);
+    assert_eq!(answer, scenario.expected_full_context_answer);
+    assert_eq!(answer, target.canonical);
+}
+
+#[test]
+fn entity_registry_empty_context_uses_the_prior() {
+    let scenario = entity_registry::scenario(EntityRegistryConfig::default());
+    let llm = SimLlm::new(SimLlmConfig::default().with_prior(scenario.prior.clone()));
+    let generation = llm.generate(&LlmInput::without_context(scenario.question.clone()));
+    assert_eq!(generation.answer, scenario.expected_empty_context_answer);
 }
 
 #[test]

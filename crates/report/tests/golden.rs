@@ -100,6 +100,13 @@ fn live_updates_snapshots_are_stable() {
 }
 
 #[test]
+fn entity_registry_snapshots_are_stable() {
+    // Pins the default-size (4096 record) registry; the benchmark builds the
+    // same generator at 100k for the pruning speedup measurement.
+    check_scenario("entity_registry");
+}
+
+#[test]
 fn snapshot_list_matches_cli_scenarios() {
     // Every scenario the registry knows has a pinned pair of snapshots (guards
     // against registering a scenario without extending the golden coverage).

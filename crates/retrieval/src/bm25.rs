@@ -46,8 +46,18 @@ pub fn idf(num_docs: usize, doc_freq: usize) -> f64 {
 
 /// Per-term BM25 contribution for a document.
 pub fn term_score(params: Bm25Params, idf: f64, tf: u32, doc_len: u32, avg_doc_len: f64) -> f64 {
+    term_score_dl(params, idf, tf, f64::from(doc_len), avg_doc_len)
+}
+
+/// [`term_score`] with the document length already converted to `f64`.
+///
+/// The conversion is exact, so passing the index's precomputed norm length
+/// ([`InvertedIndex::doc_norm_len`]) produces bit-identical scores while sparing the
+/// hot loop one `u32 → f64` convert per posting. This is the single scoring kernel
+/// every query path bottoms out in — exhaustive, pruned, and per-document alike — so
+/// operand order here *defines* the bit-identity contract.
+pub fn term_score_dl(params: Bm25Params, idf: f64, tf: u32, dl: f64, avg_doc_len: f64) -> f64 {
     let tf = f64::from(tf);
-    let dl = f64::from(doc_len);
     let avgdl = if avg_doc_len > 0.0 { avg_doc_len } else { 1.0 };
     let denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avgdl);
     if denom == 0.0 {
@@ -113,13 +123,47 @@ pub fn score_all_with(
         let idf = idf(stats.num_docs, df);
         if let Some(postings) = index.postings(term) {
             for posting in postings {
-                let doc_len = index.doc_len(posting.doc);
+                let dl = index.doc_norm_len(posting.doc);
                 scores[posting.doc as usize] +=
-                    term_score(params, idf, posting.tf, doc_len, stats.avg_doc_len);
+                    term_score_dl(params, idf, posting.tf, dl, stats.avg_doc_len);
             }
         }
     }
     scores
+}
+
+/// Score one document (by ordinal) against analysed query terms, bit-identical to
+/// `score_all_with(..)[ordinal]`.
+///
+/// Instead of scoring the whole corpus densely, each query term's posting for the
+/// document is found by binary search in its ordinal-sorted list — O(terms · log
+/// postings) per document. The per-document accumulation visits query terms in
+/// exactly the order [`score_all_with`] does, with identical [`term_score_dl`]
+/// operands, so the sum carries the same bits.
+pub fn score_doc_with(
+    index: &InvertedIndex,
+    query_terms: &[String],
+    params: Bm25Params,
+    stats: &CollectionStats<'_>,
+    ordinal: u32,
+) -> f64 {
+    debug_assert_eq!(query_terms.len(), stats.doc_freqs.len());
+    let mut score = 0.0;
+    for (term, &df) in query_terms.iter().zip(stats.doc_freqs) {
+        if df == 0 {
+            continue;
+        }
+        let idf = idf(stats.num_docs, df);
+        let Some(term_id) = index.term_id(term) else {
+            continue;
+        };
+        let postings = index.postings_by_id(term_id);
+        if let Ok(pos) = postings.binary_search_by_key(&ordinal, |p| p.doc) {
+            let dl = index.doc_norm_len(ordinal);
+            score += term_score_dl(params, idf, postings[pos].tf, dl, stats.avg_doc_len);
+        }
+    }
+    score
 }
 
 #[cfg(test)]

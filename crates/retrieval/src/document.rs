@@ -5,7 +5,7 @@
 //! unit that gets indexed. Corpora can be round-tripped through the JSONL interchange
 //! format Pyserini uses (`{"id": ..., "contents": ...}` one object per line).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
@@ -61,9 +61,20 @@ impl Document {
 }
 
 /// An ordered collection of documents with unique ids.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Corpus {
     documents: Vec<Document>,
+    /// Ids of `documents`, kept in lockstep so the uniqueness check on every append
+    /// is a hash probe instead of a linear scan (building a registry-scale corpus
+    /// document by document used to be quadratic in corpus size).
+    ids: HashSet<String>,
+}
+
+impl PartialEq for Corpus {
+    fn eq(&self, other: &Self) -> bool {
+        // `ids` is derived state; document order and content define equality.
+        self.documents == other.documents
+    }
 }
 
 impl Corpus {
@@ -90,15 +101,19 @@ impl Corpus {
 
     /// Append a document, failing on a duplicate id.
     pub fn try_push(&mut self, doc: Document) -> Result<(), RetrievalError> {
-        if self.documents.iter().any(|d| d.id == doc.id) {
+        if self.ids.contains(&doc.id) {
             return Err(RetrievalError::DuplicateDocumentId(doc.id));
         }
+        self.ids.insert(doc.id.clone());
         self.documents.push(doc);
         Ok(())
     }
 
     /// Remove a document by id, returning it. `None` when the id is not present.
     pub fn remove(&mut self, id: &str) -> Option<Document> {
+        if !self.ids.remove(id) {
+            return None;
+        }
         let pos = self.documents.iter().position(|d| d.id == id)?;
         Some(self.documents.remove(pos))
     }
@@ -119,6 +134,7 @@ impl Corpus {
         match self.documents.iter_mut().find(|d| d.id == doc.id) {
             Some(slot) => Some(std::mem::replace(slot, doc)),
             None => {
+                self.ids.insert(doc.id.clone());
                 self.documents.push(doc);
                 None
             }

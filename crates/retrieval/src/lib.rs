@@ -11,9 +11,12 @@
 //! * [`document`] — the [`Document`](document::Document) and [`Corpus`](document::Corpus)
 //!   types plus JSONL (one-JSON-object-per-line) persistence, the same interchange format
 //!   Pyserini uses for its document collections.
-//! * [`index`] — an in-memory inverted index with per-term postings and per-document
-//!   lengths, built by [`IndexBuilder`](index::IndexBuilder).
+//! * [`index`] — an in-memory inverted index in a compact arena layout (interned term
+//!   dictionary, contiguous postings arena, precomputed per-document BM25 length
+//!   norms), built by [`IndexBuilder`](index::IndexBuilder).
 //! * [`bm25`] — Okapi BM25 scoring with tunable `k1`/`b`.
+//! * [`topk`] — the pruned query hot path: sparse accumulation plus MaxScore-style
+//!   exact dynamic pruning over per-term score upper bounds.
 //! * [`searcher`] — the [`Searcher`](searcher::Searcher) facade producing the ranked
 //!   context `Dq` (a sequence of [`RankedSource`](searcher::RankedSource)) that RAGE
 //!   perturbs.
@@ -64,6 +67,50 @@
 //! assert_eq!(single.search(query, 2), sharded.search(query, 2));
 //! ```
 //!
+//! ## The query hot path: compact layout + exact dynamic pruning
+//!
+//! Top-k queries do **not** score every document. The hot path is built from three
+//! layers, each preserving the public API and the exact ranking:
+//!
+//! 1. **Layout** ([`index`]) — the searchable term dictionary is a sorted string
+//!    arena addressed by interned term ids, postings lists live in one contiguous
+//!    arena ordered by ascending document ordinal, and per-document BM25 length
+//!    norms are precomputed into a dense `f64` array.
+//! 2. **Sparse scoring** ([`topk::ScoreWorkspace`]) — term-at-a-time accumulation
+//!    into a reusable epoch-stamped sparse accumulator, so per-query cost scales
+//!    with postings touched rather than corpus size.
+//! 3. **Exact pruning** ([`topk`]) — per-term admissible score upper bounds drive
+//!    MaxScore-style skipping of long, low-impact postings lists.
+//!
+//! ### The upper-bound admissibility contract
+//!
+//! For every term the index records the maximum term frequency and minimum analysed
+//! document length over its postings ([`InvertedIndex::term_max_tf`] /
+//! [`InvertedIndex::term_min_dl`](index::InvertedIndex::term_min_dl)). The BM25
+//! per-term contribution is monotone non-decreasing in `tf` and non-increasing in
+//! document length whenever `k1 ≥ 0` and `0 ≤ b ≤ 1`, so the term score evaluated at
+//! `(max_tf, min_dl)` bounds the term's contribution to *any* document of the
+//! segment. The contract has three clauses:
+//!
+//! * **Recomputation** — bounds are recomputed at every index (re)build, including
+//!   every delta-segment rebuild and shard compaction; there is no code path that
+//!   mutates a postings list without rebuilding its bound statistics.
+//! * **Tombstones** — a base segment's bounds are *not* recomputed on tombstoned
+//!   removals. They remain admissible because a bound over a superset of the live
+//!   documents can only over-estimate; a loose bound reduces how much is skipped but
+//!   can never change the result.
+//! * **Parameter guard** — the monotonicity argument (and therefore pruning) only
+//!   holds for `k1 ≥ 0`, `0 ≤ b ≤ 1`. Exotic parameterisations are detected and
+//!   scored exhaustively instead.
+//!
+//! Pruned and exhaustive paths return identical rankings down to the score *bits*;
+//! [`Searcher::try_search_exhaustive`](searcher::Searcher::try_search_exhaustive) and
+//! [`ShardedSearcher::try_search_exhaustive`](sharded::ShardedSearcher::try_search_exhaustive)
+//! expose the dense oracle the differential suite (`crates/retrieval/tests/pruning.rs`)
+//! compares against.
+//!
+//! [`InvertedIndex::term_max_tf`]: index::InvertedIndex::term_max_tf
+//!
 //! ## Example
 //!
 //! ```
@@ -93,6 +140,7 @@ pub mod retriever;
 pub mod searcher;
 pub mod sharded;
 pub mod tokenize;
+pub mod topk;
 
 pub use bm25::Bm25Params;
 pub use document::{Corpus, Document};

@@ -7,13 +7,15 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
-use crate::bm25::{score_all, Bm25Params};
+use crate::bm25::{score_all, score_doc_with, Bm25Params, CollectionStats};
 use crate::document::Document;
 use crate::error::RetrievalError;
 use crate::index::InvertedIndex;
+use crate::topk::{prunable, pruned_top_k, ScoreWorkspace};
 
 /// One retrieved source: a document plus its rank and BM25 score for the query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,23 +63,36 @@ impl PartialOrd for HeapEntry<'_> {
     }
 }
 
-/// Bounded top-k selection over a dense score vector.
+/// Bounded top-k selection over `(ordinal, score)` entries.
 ///
 /// Keeps the `k` best entries with strictly positive scores under [`rank_cmp`] and
-/// returns them as `(ordinal, score)` pairs in final rank order. Shared by
-/// [`Searcher`] and [`crate::sharded::ShardedSearcher`] (per shard), so both sides of
-/// the sharding equivalence contract select and order by exactly the same rule.
-pub(crate) fn select_top_k<'a>(
-    scores: &[f64],
+/// returns them in final rank order. Shared by every selection site — the dense
+/// [`select_top_k`], the sparse pruned path in [`crate::topk`] — so all of them
+/// select and order by exactly the same rule.
+///
+/// Once the heap is full, a candidate whose score is *strictly below* the current
+/// worst entry's score is dropped before its document id is even materialised: it
+/// ranks after the worst entry no matter what its id is. Equal scores still go
+/// through the heap, because the id tie-break can evict the worst entry.
+pub(crate) fn select_top_k_entries<'a>(
+    entries: impl Iterator<Item = (u32, f64)>,
     k: usize,
     id_of: impl Fn(u32) -> &'a str,
 ) -> Vec<(u32, f64)> {
+    if k == 0 {
+        return Vec::new();
+    }
     let mut heap: BinaryHeap<HeapEntry<'a>> = BinaryHeap::with_capacity(k + 1);
-    for (ordinal, &score) in scores.iter().enumerate() {
+    for (ordinal, score) in entries {
         if score <= 0.0 {
             continue;
         }
-        let ordinal = ordinal as u32;
+        if heap.len() == k {
+            let worst = heap.peek().expect("k > 0 and heap full");
+            if score < worst.score {
+                continue;
+            }
+        }
         heap.push(HeapEntry {
             score,
             doc_id: id_of(ordinal),
@@ -95,11 +110,45 @@ pub(crate) fn select_top_k<'a>(
         .collect()
 }
 
+/// Bounded top-k selection over a dense score vector (the exhaustive oracle path).
+pub(crate) fn select_top_k<'a>(
+    scores: &[f64],
+    k: usize,
+    id_of: impl Fn(u32) -> &'a str,
+) -> Vec<(u32, f64)> {
+    select_top_k_entries(
+        scores
+            .iter()
+            .enumerate()
+            .map(|(ordinal, &score)| (ordinal as u32, score)),
+        k,
+        id_of,
+    )
+}
+
 /// BM25 searcher over an [`InvertedIndex`].
-#[derive(Debug, Clone)]
+///
+/// Queries run on the pruned sparse path ([`crate::topk`]) — bit-identical to the
+/// exhaustive dense scoring, which remains available as
+/// [`Searcher::try_search_exhaustive`] (the differential oracle the pruning property
+/// suite and the retrieval bench compare against).
+#[derive(Debug)]
 pub struct Searcher {
     index: InvertedIndex,
     params: Bm25Params,
+    /// Reusable sparse accumulator (see [`ScoreWorkspace`]). Concurrent queries that
+    /// miss the lock score on a fresh transient workspace instead of blocking.
+    workspace: Mutex<ScoreWorkspace>,
+}
+
+impl Clone for Searcher {
+    fn clone(&self) -> Self {
+        Self {
+            index: self.index.clone(),
+            params: self.params,
+            workspace: Mutex::new(ScoreWorkspace::new()),
+        }
+    }
 }
 
 impl Searcher {
@@ -108,6 +157,7 @@ impl Searcher {
         Self {
             index,
             params: Bm25Params::default(),
+            workspace: Mutex::new(ScoreWorkspace::new()),
         }
     }
 
@@ -147,14 +197,78 @@ impl Searcher {
             return Ok(Vec::new());
         }
 
+        let selected = if prunable(self.params) {
+            let doc_freqs: Vec<usize> = terms.iter().map(|t| self.index.doc_freq(t)).collect();
+            let stats = CollectionStats {
+                num_docs: self.index.num_docs(),
+                avg_doc_len: self.index.avg_doc_len(),
+                doc_freqs: &doc_freqs,
+            };
+            match self.workspace.try_lock() {
+                Ok(mut ws) => pruned_top_k(
+                    &self.index,
+                    &terms,
+                    self.params,
+                    &stats,
+                    k,
+                    None,
+                    None,
+                    &mut ws,
+                ),
+                Err(_) => pruned_top_k(
+                    &self.index,
+                    &terms,
+                    self.params,
+                    &stats,
+                    k,
+                    None,
+                    None,
+                    &mut ScoreWorkspace::new(),
+                ),
+            }
+        } else {
+            // Exotic parameters (k1 < 0 or b outside [0, 1]) void the bound
+            // admissibility argument — score exhaustively instead.
+            let scores = score_all(&self.index, &terms, self.params);
+            select_top_k(&scores, k, |ordinal| {
+                self.index
+                    .doc_id(ordinal)
+                    .expect("ordinal produced by scoring must exist")
+            })
+        };
+
+        Ok(self.to_ranked(selected))
+    }
+
+    /// The exhaustive dense-scoring path: identical results (bit-for-bit scores) to
+    /// [`Searcher::try_search`], at O(corpus) cost per query.
+    ///
+    /// This is the differential oracle the pruning property suite
+    /// (`crates/retrieval/tests/pruning.rs`) and the retrieval bench
+    /// (`query/docs=100k/exhaustive`) run against; it is not a serving path.
+    pub fn try_search_exhaustive(
+        &self,
+        query: &str,
+        k: usize,
+    ) -> Result<Vec<RankedSource>, RetrievalError> {
+        let terms = self.index.tokenizer().tokenize(query);
+        if terms.is_empty() {
+            return Err(RetrievalError::EmptyQuery);
+        }
+        if k == 0 || self.index.num_docs() == 0 {
+            return Ok(Vec::new());
+        }
         let scores = score_all(&self.index, &terms, self.params);
         let selected = select_top_k(&scores, k, |ordinal| {
             self.index
                 .doc_id(ordinal)
                 .expect("ordinal produced by scoring must exist")
         });
+        Ok(self.to_ranked(selected))
+    }
 
-        Ok(selected
+    fn to_ranked(&self, selected: Vec<(u32, f64)>) -> Vec<RankedSource> {
+        selected
             .into_iter()
             .enumerate()
             .map(|(rank, (ordinal, score))| {
@@ -170,10 +284,14 @@ impl Searcher {
                     document,
                 }
             })
-            .collect())
+            .collect()
     }
 
     /// Score a single document (by id) against a query, even if it would not rank top-k.
+    ///
+    /// Bit-identical to the document's entry in the dense score vector, computed
+    /// directly by probing each query term's postings (O(terms · log postings)
+    /// instead of O(corpus); see [`score_doc_with`]).
     pub fn score_document(&self, query: &str, doc_id: &str) -> Result<f64, RetrievalError> {
         let terms = self.index.tokenizer().tokenize(query);
         if terms.is_empty() {
@@ -183,8 +301,19 @@ impl Searcher {
             .index
             .ordinal_of(doc_id)
             .ok_or_else(|| RetrievalError::UnknownDocument(doc_id.to_string()))?;
-        let scores = score_all(&self.index, &terms, self.params);
-        Ok(scores[ordinal as usize])
+        let doc_freqs: Vec<usize> = terms.iter().map(|t| self.index.doc_freq(t)).collect();
+        let stats = CollectionStats {
+            num_docs: self.index.num_docs(),
+            avg_doc_len: self.index.avg_doc_len(),
+            doc_freqs: &doc_freqs,
+        };
+        Ok(score_doc_with(
+            &self.index,
+            &terms,
+            self.params,
+            &stats,
+            ordinal,
+        ))
     }
 }
 
@@ -325,6 +454,99 @@ mod tests {
         let ids: Vec<&str> = hits.iter().map(|h| h.doc_id.as_str()).collect();
         assert_eq!(ids, vec!["dup-a", "dup-b", "dup-c", "dup-d"]);
         assert!(hits.windows(2).all(|w| w[0].score == w[1].score));
+    }
+
+    #[test]
+    fn pruned_and_exhaustive_paths_are_bit_identical() {
+        let s = searcher();
+        for query in [
+            "grand slam titles",
+            "djokovic federer nadal titles wins",
+            "federer",
+            "pasta salt water",
+        ] {
+            for k in [1, 2, 5, 100] {
+                let pruned = s.search(query, k);
+                let exhaustive = s.try_search_exhaustive(query, k).unwrap();
+                assert_eq!(pruned.len(), exhaustive.len(), "{query:?} k={k}");
+                for (p, e) in pruned.iter().zip(&exhaustive) {
+                    assert_eq!(p.doc_id, e.doc_id, "{query:?} k={k}");
+                    assert_eq!(p.rank, e.rank);
+                    assert_eq!(p.score.to_bits(), e.score.to_bits(), "{query:?} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exotic_params_fall_back_to_exhaustive_scoring() {
+        // b > 1 voids the min-length bound admissibility; search must still answer,
+        // via the dense path, and agree with the explicit exhaustive call.
+        let exotic = Bm25Params { k1: 0.9, b: 1.2 };
+        let s = searcher().with_params(exotic);
+        let hits = s.search("grand slam titles", 3);
+        let oracle = s.try_search_exhaustive("grand slam titles", 3).unwrap();
+        assert_eq!(hits, oracle);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn heap_full_precheck_keeps_tie_heavy_selection_identical() {
+        // Satellite regression: many duplicate scores around the heap boundary. The
+        // pre-check ("skip when strictly below the current worst") must not change
+        // selection when candidates tie with the worst entry — those go through the
+        // heap so the ascending-id tie-break still applies. Compare against a naive
+        // full sort of the dense score vector.
+        let mut corpus = Corpus::new();
+        // 40 identical docs (all the same score) plus a couple of better and worse
+        // ones, inserted in scrambled id order.
+        for i in [17, 3, 29, 8, 35, 1, 22, 40, 11, 6] {
+            corpus.push(Document::new(
+                format!("tie-{i:02}"),
+                "",
+                "identical registry entry text",
+            ));
+        }
+        for i in [5, 2, 9] {
+            corpus.push(Document::new(
+                format!("strong-{i}"),
+                "",
+                "identical registry entry text registry entry",
+            ));
+        }
+        corpus.push(Document::new(
+            "weak",
+            "",
+            "registry and much other filler text here",
+        ));
+        let s = Searcher::new(IndexBuilder::default().build(&corpus));
+
+        let terms = s.index().tokenizer().tokenize("identical registry entry");
+        let dense = crate::bm25::score_all(s.index(), &terms, s.params());
+        for k in [1, 2, 3, 4, 5, 9, 13, 14, 20] {
+            // Naive oracle: full sort under the shared rank order.
+            let mut all: Vec<(u32, f64)> = dense
+                .iter()
+                .enumerate()
+                .filter(|(_, &sc)| sc > 0.0)
+                .map(|(o, &sc)| (o as u32, sc))
+                .collect();
+            all.sort_by(|a, b| {
+                rank_cmp(
+                    a.1,
+                    s.index().doc_id(a.0).unwrap(),
+                    b.1,
+                    s.index().doc_id(b.0).unwrap(),
+                )
+            });
+            all.truncate(k);
+            let got = select_top_k(&dense, k, |o| s.index().doc_id(o).unwrap());
+            assert_eq!(got.len(), all.len(), "k={k}");
+            for (g, e) in got.iter().zip(&all) {
+                assert_eq!(g.0, e.0, "k={k}");
+                assert_eq!(g.1.to_bits(), e.1.to_bits(), "k={k}");
+            }
+        }
     }
 
     #[test]

@@ -13,15 +13,26 @@
 //! 1. **Global statistics.** BM25's `idf` and length normalisation depend on
 //!    collection-level statistics (document count, per-term document frequencies,
 //!    average document length). Each shard is therefore scored with the statistics of
-//!    the *whole* corpus via [`score_all_with`], so every per-document score is
-//!    computed from exactly the same operands in exactly the same order as in the
-//!    single-index path.
+//!    the *whole* corpus, so every per-document score is computed from exactly the
+//!    same operands in exactly the same order as in the single-index path.
 //! 2. **Layout-free tie-breaking.** All rankings order by descending score under
 //!    `f64::total_cmp` with ties broken by ascending document id (never by an
 //!    index-local ordinal), so the ranking is a pure function of the `(document,
 //!    score)` set. Each shard's local top-k necessarily contains every member of the
 //!    global top-k that lives in that shard, which makes the merge exact rather than
 //!    approximate.
+//!
+//! Queries run through the exact dynamic-pruning engine
+//! ([`pruned_top_k`](crate::topk)): each segment is searched term-at-a-time with
+//! admissible per-term upper bounds, tombstoned ordinals excluded at candidate
+//! generation, and — because segments are visited in sequence — the running global
+//! k-th best candidate score is handed to later segments as an initial pruning
+//! threshold (a document scoring strictly below it cannot enter the merged top-k, so
+//! skipping it is exact). Every emitted score is still produced by the shared
+//! query-order rescoring kernel, preserving bit-identity; parameter settings outside
+//! the bounds' admissibility envelope fall back to exhaustive scoring
+//! ([`try_search_exhaustive`](ShardedSearcher::try_search_exhaustive), which is also
+//! the differential oracle the pruning suite compares against).
 //!
 //! ## The delta/compaction contract
 //!
@@ -39,8 +50,8 @@
 //! `avg_doc_len`, per-term `doc_freq`) are maintained **exactly** on every mutation:
 //! integer token counts are added/subtracted (order-independent), and tombstoned
 //! documents are subtracted from the per-term document frequencies they contributed
-//! to. Queries score every segment with these global stats and zero out tombstoned
-//! ordinals before selection, so by the two mechanisms above the ranking and every
+//! to. Queries score every segment with these global stats and exclude tombstoned
+//! ordinals from candidacy, so by the two mechanisms above the ranking and every
 //! score are **bit-identical to a from-scratch
 //! [`ShardedIndexBuilder::build`]** of the current live document set — at every
 //! version. The incremental-equivalence suite
@@ -59,16 +70,17 @@
 //! caches key on the version to invalidate stale results.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread;
 
-use crate::bm25::{score_all_with, Bm25Params, CollectionStats};
+use crate::bm25::{score_all_with, score_doc_with, Bm25Params, CollectionStats};
 use crate::document::{Corpus, Document};
 use crate::error::RetrievalError;
 use crate::index::{IndexBuilder, InvertedIndex};
 use crate::retriever::{CorpusVersion, Retriever};
 use crate::searcher::{rank_cmp, select_top_k, RankedSource};
 use crate::tokenize::Tokenizer;
+use crate::topk::{prunable, pruned_top_k, ScoreWorkspace};
 
 /// A delta segment larger than this triggers automatic compaction of its shard.
 const DELTA_COMPACT_LIMIT: usize = 64;
@@ -200,6 +212,7 @@ impl ShardedIndexBuilder {
                 dead: HashSet::new(),
                 dead_terms: HashMap::new(),
                 delta_docs: Vec::new(),
+                delta_tokens: Vec::new(),
                 delta: empty_delta.clone(),
             })
             .collect();
@@ -244,6 +257,10 @@ struct Shard {
     dead_terms: HashMap<String, usize>,
     /// The live documents of the delta segment, in insertion order.
     delta_docs: Vec<Document>,
+    /// Cached analysed token streams, parallel to `delta_docs`. Analysis is
+    /// deterministic, so re-indexing from the cache is bit-identical to re-analysing —
+    /// it just spares every rebuild a full tokenizer pass over the whole delta.
+    delta_tokens: Vec<Vec<String>>,
     /// Index over `delta_docs`, rebuilt on each mutation of this shard.
     delta: InvertedIndex,
 }
@@ -263,7 +280,7 @@ impl Shard {
     fn rebuild_delta(&mut self, builder: &IndexBuilder) {
         let corpus =
             Corpus::from_documents(self.delta_docs.clone()).expect("delta document ids are unique");
-        self.delta = builder.build(&corpus);
+        self.delta = builder.build_analysed(&corpus, &self.delta_tokens);
     }
 
     /// Whether this shard's pending state warrants folding into a new base segment.
@@ -287,6 +304,7 @@ impl Shard {
             })
             .collect();
         docs.append(&mut self.delta_docs);
+        self.delta_tokens.clear();
         let corpus = Corpus::from_documents(docs).expect("live ids are unique");
         self.base = builder.build(&corpus);
         self.dead.clear();
@@ -416,7 +434,10 @@ impl ShardedIndex {
     }
 
     fn add_internal(&mut self, doc: Document) {
-        let len = self.tokenizer.tokenize(&doc.full_text()).len() as u64;
+        // Analyse exactly once: the token stream feeds both the global length
+        // statistics and (via the shard's token cache) every delta rebuild.
+        let tokens = self.tokenizer.tokenize(&doc.full_text());
+        let len = tokens.len() as u64;
         self.fingerprint = self.fingerprint.wrapping_add(document_fingerprint(&doc));
         let target = (0..self.shards.len())
             .min_by_key(|&s| (self.shards[s].live_docs(), s))
@@ -424,6 +445,7 @@ impl ShardedIndex {
         let builder = self.index_builder();
         let shard = &mut self.shards[target];
         shard.delta_docs.push(doc);
+        shard.delta_tokens.push(tokens);
         shard.rebuild_delta(&builder);
         self.num_docs += 1;
         self.total_len += len;
@@ -449,6 +471,7 @@ impl ShardedIndex {
                     .expect("delta index mirrors delta_docs");
                 let len = u64::from(shard.delta.doc_len(ordinal));
                 let doc = shard.delta_docs.remove(pos);
+                shard.delta_tokens.remove(pos);
                 shard.rebuild_delta(&builder);
                 self.finish_removal(&doc, len);
                 return Ok(doc);
@@ -531,10 +554,24 @@ impl ShardedIndex {
 /// corpus (see the [module docs](self)).
 ///
 /// [`Searcher`]: crate::searcher::Searcher
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ShardedSearcher {
     index: ShardedIndex,
     params: Bm25Params,
+    /// Reusable sparse scoring workspace shared by every segment of a query (sized to
+    /// the largest segment touched). Queries that find it busy fall back to a
+    /// throwaway workspace — results are identical either way.
+    workspace: Mutex<ScoreWorkspace>,
+}
+
+impl Clone for ShardedSearcher {
+    fn clone(&self) -> Self {
+        Self {
+            index: self.index.clone(),
+            params: self.params,
+            workspace: Mutex::new(ScoreWorkspace::new()),
+        }
+    }
 }
 
 impl ShardedSearcher {
@@ -543,6 +580,7 @@ impl ShardedSearcher {
         Self {
             index,
             params: Bm25Params::default(),
+            workspace: Mutex::new(ScoreWorkspace::new()),
         }
     }
 
@@ -581,6 +619,11 @@ impl ShardedSearcher {
 
     /// Like [`ShardedSearcher::search`] but reports empty/unanalysable queries as
     /// errors.
+    ///
+    /// Runs the exact dynamic-pruning engine over every segment (see the
+    /// [module docs](self)); parameters outside the pruning admissibility envelope
+    /// fall back to exhaustive scoring. Either way the result is bit-identical to
+    /// [`try_search_exhaustive`](Self::try_search_exhaustive).
     pub fn try_search(&self, query: &str, k: usize) -> Result<Vec<RankedSource>, RetrievalError> {
         let terms = self.index.tokenizer.tokenize(query);
         if terms.is_empty() {
@@ -589,17 +632,89 @@ impl ShardedSearcher {
         if k == 0 || self.index.num_docs == 0 {
             return Ok(Vec::new());
         }
-
+        if !prunable(self.params) {
+            return self.exhaustive_with_terms(&terms, k);
+        }
         let doc_freqs = self.index.doc_freqs(&terms);
         let stats = self.index.stats(&doc_freqs);
+        match self.workspace.try_lock() {
+            Ok(mut ws) => self.pruned_with_terms(&terms, k, &stats, &mut ws),
+            Err(_) => self.pruned_with_terms(&terms, k, &stats, &mut ScoreWorkspace::new()),
+        }
+    }
 
-        // Per-segment bounded top-k, then an exact merge of the candidates under the
-        // shared rank order. Tombstoned base ordinals are zeroed before selection
-        // (`select_top_k` never returns non-positive scores), so dead documents are
-        // indistinguishable from absent ones.
+    /// Exhaustive-scoring oracle: identical results to [`try_search`](Self::try_search)
+    /// computed by densely scoring every document of every segment.
+    ///
+    /// This is the reference implementation the differential pruning suite
+    /// (`crates/retrieval/tests/pruning.rs`) and the retrieval benchmark compare
+    /// against; production queries should use [`try_search`](Self::try_search).
+    pub fn try_search_exhaustive(
+        &self,
+        query: &str,
+        k: usize,
+    ) -> Result<Vec<RankedSource>, RetrievalError> {
+        let terms = self.index.tokenizer.tokenize(query);
+        if terms.is_empty() {
+            return Err(RetrievalError::EmptyQuery);
+        }
+        if k == 0 || self.index.num_docs == 0 {
+            return Ok(Vec::new());
+        }
+        self.exhaustive_with_terms(&terms, k)
+    }
+
+    /// Pruned per-segment top-k with a running cross-segment threshold, then an exact
+    /// merge of the candidates under the shared rank order.
+    fn pruned_with_terms(
+        &self,
+        terms: &[String],
+        k: usize,
+        stats: &CollectionStats<'_>,
+        ws: &mut ScoreWorkspace,
+    ) -> Result<Vec<RankedSource>, RetrievalError> {
+        let mut candidates: Vec<(f64, &str, &InvertedIndex, u32)> = Vec::new();
+        // Once k candidates exist globally, their k-th best (exact) score is a valid
+        // initial pruning threshold for every later segment: a document scoring
+        // strictly below it cannot displace any of them in the merged ranking.
+        let mut floor: Option<f64> = None;
+        for shard in &self.index.shards {
+            let dead = (!shard.dead.is_empty()).then_some(&shard.dead);
+            let segments = [(&shard.base, dead), (&shard.delta, None)];
+            for (segment, dead) in segments {
+                if segment.num_docs() == 0 {
+                    continue;
+                }
+                let selected = pruned_top_k(segment, terms, self.params, stats, k, dead, floor, ws);
+                for (local, score) in selected {
+                    let id = segment
+                        .doc_id(local)
+                        .expect("ordinal produced by scoring must exist");
+                    candidates.push((score, id, segment, local));
+                }
+                candidates.sort_by(|a, b| rank_cmp(a.0, a.1, b.0, b.1));
+                candidates.truncate(k);
+                if candidates.len() == k {
+                    floor = Some(candidates[k - 1].0);
+                }
+            }
+        }
+        Ok(Self::to_ranked(candidates))
+    }
+
+    /// Dense scoring of every segment; tombstoned base ordinals are zeroed before
+    /// selection (`select_top_k` never returns non-positive scores), so dead documents
+    /// are indistinguishable from absent ones.
+    fn exhaustive_with_terms(
+        &self,
+        terms: &[String],
+        k: usize,
+    ) -> Result<Vec<RankedSource>, RetrievalError> {
+        let doc_freqs = self.index.doc_freqs(terms);
+        let stats = self.index.stats(&doc_freqs);
         let mut candidates: Vec<(f64, &str, &InvertedIndex, u32)> = Vec::new();
         for shard in &self.index.shards {
-            let mut scores = score_all_with(&shard.base, &terms, self.params, &stats);
+            let mut scores = score_all_with(&shard.base, terms, self.params, &stats);
             for &dead in &shard.dead {
                 if let Some(slot) = scores.get_mut(dead as usize) {
                     *slot = 0.0;
@@ -607,14 +722,17 @@ impl ShardedSearcher {
             }
             self.select_into(&shard.base, &scores, k, &mut candidates);
             if shard.delta.num_docs() > 0 {
-                let scores = score_all_with(&shard.delta, &terms, self.params, &stats);
+                let scores = score_all_with(&shard.delta, terms, self.params, &stats);
                 self.select_into(&shard.delta, &scores, k, &mut candidates);
             }
         }
         candidates.sort_by(|a, b| rank_cmp(a.0, a.1, b.0, b.1));
         candidates.truncate(k);
+        Ok(Self::to_ranked(candidates))
+    }
 
-        Ok(candidates
+    fn to_ranked(candidates: Vec<(f64, &str, &InvertedIndex, u32)>) -> Vec<RankedSource> {
+        candidates
             .into_iter()
             .enumerate()
             .map(|(rank, (score, _, index, local))| {
@@ -629,7 +747,7 @@ impl ShardedSearcher {
                     document,
                 }
             })
-            .collect())
+            .collect()
     }
 
     fn select_into<'a>(
@@ -663,8 +781,7 @@ impl ShardedSearcher {
             .ok_or_else(|| RetrievalError::UnknownDocument(doc_id.to_string()))?;
         let doc_freqs = self.index.doc_freqs(&terms);
         let stats = self.index.stats(&doc_freqs);
-        let scores = score_all_with(segment, &terms, self.params, &stats);
-        Ok(scores[local as usize])
+        Ok(score_doc_with(segment, &terms, self.params, &stats, local))
     }
 }
 
@@ -1025,6 +1142,65 @@ mod tests {
             &compacted.search("french open clay titles", 5),
             &rebuilt.search("french open clay titles", 5),
         );
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_through_mutations() {
+        // The production (pruned) path and the dense oracle must agree bit-for-bit at
+        // every mutation step — including with tombstones in the base segments and
+        // live delta segments. The full property suite lives in tests/pruning.rs;
+        // this pins the wiring.
+        let mut searcher = ShardedSearcher::from_corpus(&corpus(), 3);
+        let queries = [
+            "grand slam titles",
+            "djokovic federer nadal titles wins",
+            "pasta",
+            "most most most weeks", // duplicate terms exercise repeat accumulation
+        ];
+        let check = |s: &ShardedSearcher| {
+            for query in queries {
+                for k in [1, 2, 3, 10] {
+                    let pruned = s.try_search(query, k).unwrap();
+                    let oracle = s.try_search_exhaustive(query, k).unwrap();
+                    assert_same_hits(&oracle, &pruned);
+                }
+            }
+        };
+        check(&searcher);
+        searcher
+            .index_mut()
+            .add(Document::new(
+                "doubles",
+                "Doubles",
+                "The Bryan brothers dominated doubles grand slam draws",
+            ))
+            .unwrap();
+        check(&searcher);
+        searcher.index_mut().remove("weeks").unwrap();
+        check(&searcher);
+        searcher
+            .index_mut()
+            .update(Document::new(
+                "clay",
+                "Clay",
+                "Nadal took a fourteenth French Open title on clay",
+            ))
+            .unwrap();
+        check(&searcher);
+        searcher.index_mut().compact();
+        check(&searcher);
+    }
+
+    #[test]
+    fn exotic_params_still_answer_via_fallback() {
+        let exotic = Bm25Params { k1: 0.9, b: 1.5 };
+        let searcher = ShardedSearcher::from_corpus(&corpus(), 2).with_params(exotic);
+        let hits = searcher.try_search("grand slam titles", 3).unwrap();
+        let oracle = searcher
+            .try_search_exhaustive("grand slam titles", 3)
+            .unwrap();
+        assert_same_hits(&oracle, &hits);
+        assert!(!hits.is_empty());
     }
 
     #[test]
